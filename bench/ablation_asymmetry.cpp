@@ -1,0 +1,74 @@
+// Ablation 2: sensitivity to the device asymmetries. K = Tset/Treset
+// governs how many RESET sub-slots hide inside one SET window; L =
+// Creset/Cset governs how expensive those RESETs are. The paper fixes
+// K=8, L=2 (Table II); this sweep shows how Tetris's advantage over
+// Three-Stage-Write scales with both.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tw/core/factory.hpp"
+#include "tw/stats/accumulator.hpp"
+#include "tw/workload/generator.hpp"
+
+using namespace tw;
+
+namespace {
+
+double avg_units(const pcm::PcmConfig& cfg,
+                 const workload::WorkloadProfile& p,
+                 schemes::SchemeKind kind, u64 writes, u64 seed) {
+  mem::DataStore store(cfg.geometry.units_per_line(), seed,
+                       p.initial_ones_fraction);
+  workload::TraceGenerator gen(p, cfg.geometry, 1, seed + 1);
+  const auto scheme = core::make_scheme(kind, cfg);
+  stats::Accumulator units;
+  u64 n = 0;
+  while (n < writes) {
+    const workload::TraceOp op = gen.next(0);
+    if (!op.is_write) continue;
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    units.add(scheme->plan_write(store.line(op.addr), next).write_units);
+    ++n;
+  }
+  return units.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+  const u64 writes = o.quick ? 400 : 2'000;
+  const auto& profile = workload::profile_by_name("ferret");
+
+  std::cout << "Ablation: time (K) and power (L) asymmetry sweep\n"
+            << "================================================\n"
+            << "(avg write units on 'ferret'; Table II point is K=8, "
+               "L=2)\n\n";
+
+  AsciiTable t;
+  t.set_header({"K", "L", "Tset(ns)", "3stage", "tetris", "tetris win"});
+  for (const u32 k : {1u, 2u, 4u, 8u, 16u}) {
+    for (const u32 l : {1u, 2u, 4u}) {
+      pcm::PcmConfig cfg = pcm::table2_config();
+      cfg.timing.t_set = ns(53) * k;
+      cfg.power.reset_current_ratio_l = l;
+      const double three = avg_units(cfg, profile,
+                                     schemes::SchemeKind::kThreeStage,
+                                     writes, o.seed);
+      const double tetris = avg_units(
+          cfg, profile, schemes::SchemeKind::kTetris, writes, o.seed);
+      t.add_row({std::to_string(k), std::to_string(l),
+                 fixed(to_ns(cfg.timing.t_set), 0), fixed(three, 2),
+                 fixed(tetris, 2), pct(1.0 - tetris / three)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: a larger K gives Tetris more sub-slots to "
+               "steal (RESETs\nvanish into the SET window); larger L makes "
+               "RESETs power-hungry and\nerodes everyone's stage-0 "
+               "concurrency, which hurts Three-Stage-Write\nmore than "
+               "Tetris.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation 11: batched Tetris (our future-work extension). The controller
+// hands up to B queued same-bank writes to the packer at once, so their
+// data units share write units. Measures the write-unit amortization and
+// system-level effect versus per-line Tetris.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Ablation: batched Tetris (joint packing of same-bank "
+               "writes)\n"
+            << "==========================================================\n";
+
+  AsciiTable t;
+  t.set_header({"workload", "batch", "write units", "write lat (us)",
+                "read lat (ns)", "IPC", "batched writes"});
+  for (const char* name : {"dedup", "vips"}) {
+    const auto& profile = workload::profile_by_name(name);
+    for (const u32 batch : {1u, 2u, 4u, 8u}) {
+      harness::SystemConfig cfg = bench::system_config(profile, o);
+      cfg.controller.write_batch = batch;
+      const harness::RunMetrics m =
+          harness::run_system(cfg, profile, schemes::SchemeKind::kTetris);
+      t.add_row({profile.name, std::to_string(batch),
+                 fixed(m.write_units, 3),
+                 fixed(m.write_latency_ns / 1000.0, 1),
+                 fixed(m.read_latency_ns, 0), fixed(m.ipc, 3),
+                 std::to_string(m.writes_batched)});
+    }
+    t.add_separator();
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: joint packing amortizes write units below 1 "
+               "per line, but the\nbatch occupies its bank in one "
+               "indivisible window, so reads queue longer\nbehind it — a "
+               "real trade-off: write-burst-bound vips gains IPC at "
+               "small\nbatches while the more read-sensitive mix loses. "
+               "Batching pairs best\nwith write pausing.\n";
+  return 0;
+}

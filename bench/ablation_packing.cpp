@@ -1,0 +1,89 @@
+// Ablation 1 (DESIGN.md §3): the packing heuristic. Algorithm 2 uses
+// first-fit decreasing; how much does the sort buy over arrival-order
+// first-fit, does best-fit help, and what does forbidding self-overlap
+// (a conservative single-select MUX) cost?
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tw/core/factory.hpp"
+#include "tw/stats/accumulator.hpp"
+#include "tw/workload/generator.hpp"
+
+using namespace tw;
+
+namespace {
+
+double avg_units(const workload::WorkloadProfile& p,
+                 const core::TetrisOptions& opts, u64 writes, u64 seed) {
+  const pcm::PcmConfig cfg = pcm::table2_config();
+  mem::DataStore store(cfg.geometry.units_per_line(), seed,
+                       p.initial_ones_fraction);
+  workload::TraceGenerator gen(p, cfg.geometry, 1, seed + 1);
+  const core::TetrisScheme scheme(cfg, opts);
+  stats::Accumulator units;
+  u64 n = 0;
+  while (n < writes) {
+    const workload::TraceOp op = gen.next(0);
+    if (!op.is_write) continue;
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    units.add(scheme.plan_write(store.line(op.addr), next).write_units);
+    ++n;
+  }
+  return units.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+  const u64 writes = o.quick ? 600 : 3'000;
+
+  std::cout << "Ablation: Tetris packing heuristic (avg write units)\n"
+            << "====================================================\n\n";
+
+  struct Variant {
+    const char* name;
+    core::TetrisOptions opts;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant ffd{"first-fit decreasing (paper)", {}};
+    Variant ffa{"first-fit arrival order", {}};
+    ffa.opts.pack_order = core::PackOrder::kFirstFitArrival;
+    Variant bfd{"best-fit decreasing", {}};
+    bfd.opts.pack_order = core::PackOrder::kBestFitDecreasing;
+    Variant noov{"FFD + forbid self-overlap", {}};
+    noov.opts.forbid_self_overlap = true;
+    variants = {ffd, ffa, bfd, noov};
+  }
+
+  AsciiTable t;
+  {
+    std::vector<std::string> header = {"workload"};
+    for (const auto& v : variants) header.emplace_back(v.name);
+    t.set_header(std::move(header));
+  }
+  std::vector<stats::Accumulator> avg(variants.size());
+  for (const auto& p : workload::parsec_profiles()) {
+    std::vector<std::string> row = {p.name};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const double u = avg_units(p, variants[v].opts, writes, o.seed);
+      avg[v].add(u);
+      row.push_back(fixed(u, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.add_separator();
+  std::vector<std::string> last = {"average"};
+  for (auto& a : avg) last.push_back(fixed(a.mean(), 3));
+  t.add_row(std::move(last));
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: at Fig. 3 densities the budget is rarely "
+               "contended, so the\nheuristic choice moves the average "
+               "little; the sort matters in the\ndense tail (dedup, vips) "
+               "and the self-overlap ban costs a trailing\nsub-slot "
+               "whenever a unit has both SETs and RESETs.\n";
+  return 0;
+}

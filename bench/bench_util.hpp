@@ -1,0 +1,222 @@
+#pragma once
+// Shared plumbing for the figure-reproduction harnesses: CLI flags,
+// per-workload instruction budgets, and the standard "system figure"
+// runner used by Figures 11-14 (same simulation matrix, different
+// metric).
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tw/common/parallel.hpp"
+#include "tw/common/strings.hpp"
+#include "tw/common/svg.hpp"
+#include "tw/harness/figure.hpp"
+
+namespace tw::bench {
+
+/// Command-line options common to all figure binaries.
+struct Options {
+  u64 target_ops_per_core = 1500;  ///< memory requests per core to aim for
+  u64 max_instructions = 60'000'000;
+  u64 seed = 42;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::string csv_path;     ///< optional CSV dump
+  std::string svg_path;     ///< optional SVG figure
+  bool quick = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        return arg.c_str() + std::strlen(prefix);
+      };
+      if (arg == "--quick") {
+        o.quick = true;
+        o.target_ops_per_core = 400;
+      } else if (starts_with(arg, "--ops=")) {
+        o.target_ops_per_core = std::strtoull(value("--ops="), nullptr, 10);
+      } else if (starts_with(arg, "--seed=")) {
+        o.seed = std::strtoull(value("--seed="), nullptr, 10);
+      } else if (starts_with(arg, "--threads=")) {
+        o.threads = std::strtoull(value("--threads="), nullptr, 10);
+      } else if (starts_with(arg, "--csv=")) {
+        o.csv_path = value("--csv=");
+      } else if (starts_with(arg, "--svg=")) {
+        o.svg_path = value("--svg=");
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --quick --ops=N --seed=N --threads=N "
+                     "--csv=PATH --svg=PATH\n";
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+/// Instruction budget giving ~target_ops memory requests per core.
+inline u64 instructions_for(const workload::WorkloadProfile& p,
+                            const Options& o) {
+  const double per_kilo = p.mem_ops_per_kilo();
+  const u64 wanted = static_cast<u64>(
+      static_cast<double>(o.target_ops_per_core) * 1000.0 / per_kilo);
+  return std::min(std::max<u64>(wanted, 20'000), o.max_instructions);
+}
+
+/// The standard Table II system config for one workload under `o`.
+inline harness::SystemConfig system_config(
+    const workload::WorkloadProfile& p, const Options& o) {
+  harness::SystemConfig cfg;
+  cfg.instructions_per_core = instructions_for(p, o);
+  cfg.seed = o.seed;
+  return cfg;
+}
+
+/// The paper's evaluated schemes with the DCW baseline in column 0.
+inline std::vector<schemes::SchemeKind> paper_columns() {
+  return {schemes::SchemeKind::kDcw, schemes::SchemeKind::kFlipNWrite,
+          schemes::SchemeKind::kTwoStage, schemes::SchemeKind::kThreeStage,
+          schemes::SchemeKind::kTetris};
+}
+
+/// Run the full-system matrix with per-workload instruction budgets.
+inline harness::Matrix run_paper_matrix(const Options& o) {
+  const auto& workloads = workload::parsec_profiles();
+  const auto kinds = paper_columns();
+  harness::Matrix m;
+  m.workloads = workloads;
+  m.kinds = kinds;
+  m.cells.assign(workloads.size(),
+                 std::vector<harness::RunMetrics>(kinds.size()));
+  const std::size_t total = workloads.size() * kinds.size();
+  tw::parallel_for(
+      total,
+      [&](std::size_t i) {
+        const std::size_t w = i / kinds.size();
+        const std::size_t s = i % kinds.size();
+        m.cells[w][s] = harness::run_system(system_config(workloads[w], o),
+                                            workloads[w], kinds[s]);
+      },
+      o.threads);
+  return m;
+}
+
+/// Dump the raw matrix to the --csv path if given.
+inline void maybe_write_csv(const harness::Matrix& m, const Options& o) {
+  if (o.csv_path.empty()) return;
+  std::ofstream out(o.csv_path);
+  harness::write_csv(m, out);
+  std::cout << "(raw results written to " << o.csv_path << ")\n";
+}
+
+/// Render a grouped bar chart of the normalized values to --svg if given.
+inline void maybe_write_svg(const harness::Matrix& m,
+                            const std::vector<std::vector<double>>& norm,
+                            const char* title, const char* y_label,
+                            const Options& o) {
+  if (o.svg_path.empty()) return;
+  BarChart chart(title, y_label);
+  std::vector<std::string> names;
+  for (const auto kind : m.kinds)
+    names.emplace_back(schemes::scheme_name(kind));
+  chart.set_series(std::move(names));
+  for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+    chart.add_group(m.workloads[w].name, norm[w]);
+  }
+  chart.set_reference(1.0);
+  std::ofstream out(o.svg_path);
+  chart.render(out);
+  std::cout << "(figure written to " << o.svg_path << ")\n";
+}
+
+/// Shared driver for Figures 11-14: run the matrix, print the normalized
+/// table for `metric`, and compare scheme geomeans against the paper's
+/// reported averages (columns fnw, 2stage, 3stage, tetris).
+inline int system_figure(int argc, char** argv, const char* title,
+                         const harness::MetricFn& metric,
+                         const std::vector<double>& paper_averages,
+                         const char* paper_citation) {
+  const Options o = Options::parse(argc, argv);
+  std::cout << title << "\n"
+            << std::string(std::strlen(title), '=') << "\n";
+  std::cout << "(normalized to the DCW baseline; " << paper_citation
+            << ")\n\n";
+
+  const harness::Matrix m = run_paper_matrix(o);
+  AsciiTable t = harness::normalized_table(m, metric, 0);
+  const auto norm = harness::normalized_values(m, metric, 0);
+  std::vector<std::string> paper_row = {"paper avg", "1.000"};
+  for (const double v : paper_averages) paper_row.push_back(fixed(v, 3));
+  t.add_row(std::move(paper_row));
+  t.print(std::cout);
+
+  std::cout << "\nmeasured geomean vs paper average:\n";
+  const auto& geo = norm.back();
+  bool shape_ok = true;
+  for (std::size_t s = 1; s < m.kinds.size(); ++s) {
+    const double measured = geo[s];
+    const double paper = paper_averages[s - 1];
+    std::cout << "  " << pad(schemes::scheme_name(m.kinds[s]), 8) << " "
+              << fixed(measured, 3) << " (paper " << fixed(paper, 3)
+              << ")\n";
+    // Shape check: the ranking between adjacent schemes must match.
+    if (s > 1) {
+      const double prev = geo[s - 1];
+      const double paper_prev = paper_averages[s - 2];
+      const bool measured_better = measured < prev;
+      const bool paper_better = paper < paper_prev;
+      if (paper != paper_prev && measured_better != paper_better) {
+        shape_ok = false;
+      }
+    }
+  }
+  std::cout << (shape_ok ? "\nshape: OK — scheme ranking matches the paper\n"
+                         : "\nshape: MISMATCH in scheme ranking\n");
+  maybe_write_csv(m, o);
+  maybe_write_svg(m, norm, title, "normalized to DCW baseline", o);
+  return shape_ok ? 0 : 1;
+}
+
+/// Same driver for higher-is-better metrics (Fig. 13 IPC).
+inline int system_figure_higher(int argc, char** argv, const char* title,
+                                const harness::MetricFn& metric,
+                                const std::vector<double>& paper_averages,
+                                const char* paper_citation) {
+  const Options o = Options::parse(argc, argv);
+  std::cout << title << "\n"
+            << std::string(std::strlen(title), '=') << "\n";
+  std::cout << "(improvement over the DCW baseline; " << paper_citation
+            << ")\n\n";
+
+  const harness::Matrix m = run_paper_matrix(o);
+  AsciiTable t = harness::normalized_table(m, metric, 0);
+  const auto norm = harness::normalized_values(m, metric, 0);
+  std::vector<std::string> paper_row = {"paper avg", "1.000"};
+  for (const double v : paper_averages) paper_row.push_back(fixed(v, 3));
+  t.add_row(std::move(paper_row));
+  t.print(std::cout);
+
+  std::cout << "\nmeasured geomean vs paper average:\n";
+  const auto& geo = norm.back();
+  bool shape_ok = true;
+  for (std::size_t s = 1; s < m.kinds.size(); ++s) {
+    std::cout << "  " << pad(schemes::scheme_name(m.kinds[s]), 8) << " "
+              << fixed(geo[s], 3) << "x (paper "
+              << fixed(paper_averages[s - 1], 3) << "x)\n";
+    if (s > 1 && (geo[s] > geo[s - 1]) !=
+                     (paper_averages[s - 1] > paper_averages[s - 2])) {
+      shape_ok = false;
+    }
+  }
+  std::cout << (shape_ok ? "\nshape: OK — scheme ranking matches the paper\n"
+                         : "\nshape: MISMATCH in scheme ranking\n");
+  maybe_write_csv(m, o);
+  maybe_write_svg(m, norm, title, "improvement over DCW baseline", o);
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace tw::bench

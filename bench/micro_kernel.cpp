@@ -1,0 +1,90 @@
+// Microbenchmarks of the simulator's hot kernels: bit counting, the
+// event queue, cache lookups, and the trace generator.
+
+#include <benchmark/benchmark.h>
+
+#include "tw/cache/cache.hpp"
+#include "tw/common/bits.hpp"
+#include "tw/common/rng.hpp"
+#include "tw/sim/simulator.hpp"
+#include "tw/workload/generator.hpp"
+
+namespace {
+
+using namespace tw;
+
+void BM_Transitions(benchmark::State& state) {
+  Rng rng(1);
+  const u64 a = rng.next(), b = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transitions(a, b));
+  }
+}
+BENCHMARK(BM_Transitions);
+
+void BM_TransitionsSpan(benchmark::State& state) {
+  Rng rng(2);
+  u64 a[8], b[8];
+  for (int i = 0; i < 8; ++i) {
+    a[i] = rng.next();
+    b[i] = rng.next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        transitions(std::span<const u64>(a), std::span<const u64>(b)));
+  }
+}
+BENCHMARK(BM_TransitionsSpan);
+
+void BM_EventQueue(benchmark::State& state) {
+  const u64 n = static_cast<u64>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    u64 fired = 0;
+    for (u64 i = 0; i < n; ++i) {
+      sim.schedule_at(rng.below(1'000'000), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::CacheConfig cfg;
+  cfg.size_bytes = 2 * 1024 * 1024;
+  cfg.ways = 8;
+  cache::Cache cache(cfg);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(rng.below(1 << 26) * 64, rng.chance(0.3)));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGenerator(benchmark::State& state) {
+  const auto& p = workload::profile_by_name("ferret");
+  workload::TraceGenerator gen(p, pcm::GeometryParams{}, 1, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next(0));
+  }
+}
+BENCHMARK(BM_TraceGenerator);
+
+void BM_MakeWriteData(benchmark::State& state) {
+  const auto& p = workload::profile_by_name("vips");
+  const pcm::GeometryParams g;
+  mem::DataStore store(g.units_per_line(), 6, p.initial_ones_fraction);
+  workload::TraceGenerator gen(p, g, 1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.make_write_data(0x4000, store, 0));
+  }
+}
+BENCHMARK(BM_MakeWriteData);
+
+}  // namespace

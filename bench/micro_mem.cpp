@@ -1,0 +1,80 @@
+// Microbenchmarks of the memory-system layer: controller enqueue+service
+// throughput, data-store access, Start-Gap mapping, full-system
+// simulation rate (simulated requests per wall-clock second).
+
+#include <benchmark/benchmark.h>
+
+#include "tw/core/factory.hpp"
+#include "tw/cpu/multicore.hpp"
+#include "tw/harness/experiment.hpp"
+#include "tw/mem/start_gap.hpp"
+#include "tw/workload/generator.hpp"
+
+namespace {
+
+using namespace tw;
+
+void BM_ControllerWriteService(benchmark::State& state) {
+  // Cost of one enqueue + full service of a write, end to end.
+  const pcm::PcmConfig cfg = pcm::table2_config();
+  const auto scheme = core::make_scheme(schemes::SchemeKind::kTetris, cfg);
+  sim::Simulator sim;
+  stats::Registry reg;
+  mem::ControllerConfig ccfg;
+  ccfg.drain = mem::ControllerConfig::DrainPolicy::kOpportunistic;
+  mem::Controller ctl(sim, cfg, ccfg, *scheme, reg);
+  Rng rng(1);
+  u64 addr = 0;
+  for (auto _ : state) {
+    mem::MemoryRequest r;
+    r.addr = (addr++ % 4096) * 64;
+    r.type = mem::ReqType::kWrite;
+    pcm::LogicalLine d(8);
+    for (u32 i = 0; i < 8; ++i) d.set_word(i, rng.next());
+    r.data = d;
+    ctl.enqueue(std::move(r));
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ControllerWriteService);
+
+void BM_StartGapMapping(benchmark::State& state) {
+  mem::StartGapConfig cfg;
+  cfg.region_lines = 1 << 16;
+  mem::StartGapLeveler lev(cfg);
+  u64 l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lev.map(l++ & 0xFFFF));
+  }
+}
+BENCHMARK(BM_StartGapMapping);
+
+void BM_DataStoreFirstTouch(benchmark::State& state) {
+  // Line materialization (biased content generation included).
+  u64 a = 0;
+  mem::DataStore store(8, 1, 0.35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.line(a));
+    a += 64;
+  }
+}
+BENCHMARK(BM_DataStoreFirstTouch);
+
+void BM_FullSystemSimulationRate(benchmark::State& state) {
+  // Simulated memory requests per wall-clock second for a 4-core run.
+  u64 requests = 0;
+  for (auto _ : state) {
+    harness::SystemConfig cfg;
+    cfg.instructions_per_core = 20'000;
+    const harness::RunMetrics m = harness::run_system(
+        cfg, workload::profile_by_name("ferret"),
+        schemes::SchemeKind::kTetris);
+    requests += m.reads + m.writes;
+  }
+  state.SetItemsProcessed(static_cast<i64>(requests));
+  state.SetLabel("items = simulated memory requests");
+}
+BENCHMARK(BM_FullSystemSimulationRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Microbenchmarks of the Tetris analysis stage (Algorithm 2): the paper
+// measured 41 cycles at 400 MHz (102.5 ns) for its FPGA implementation;
+// these benchmarks measure the software packer's cost and scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "tw/common/rng.hpp"
+#include "tw/core/packer.hpp"
+
+namespace {
+
+using namespace tw;
+using namespace tw::core;
+
+std::vector<UnitCounts> random_counts(u32 units, double density,
+                                      u64 seed) {
+  Rng rng(seed);
+  std::vector<UnitCounts> counts;
+  counts.reserve(units);
+  for (u32 i = 0; i < units; ++i) {
+    counts.push_back(UnitCounts{
+        i, static_cast<u32>(rng.poisson(6.7 * density)),
+        static_cast<u32>(rng.poisson(2.9 * density))});
+  }
+  return counts;
+}
+
+void BM_PackPaperLine(benchmark::State& state) {
+  const auto counts = random_counts(8, 1.0, 42);
+  const PackerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack(counts, cfg));
+  }
+  state.SetLabel("8 units, Fig.3 density (paper HW: 102.5 ns)");
+}
+BENCHMARK(BM_PackPaperLine);
+
+void BM_PackUnits(benchmark::State& state) {
+  const auto counts =
+      random_counts(static_cast<u32>(state.range(0)), 1.0, 7);
+  const PackerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack(counts, cfg));
+  }
+}
+BENCHMARK(BM_PackUnits)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PackDensity(benchmark::State& state) {
+  const auto counts =
+      random_counts(8, static_cast<double>(state.range(0)) / 10.0, 11);
+  const PackerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack(counts, cfg));
+  }
+}
+BENCHMARK(BM_PackDensity)->Arg(5)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_PackOrder(benchmark::State& state) {
+  const auto counts = random_counts(8, 2.0, 13);
+  PackerConfig cfg;
+  cfg.order = static_cast<PackOrder>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack(counts, cfg));
+  }
+}
+BENCHMARK(BM_PackOrder)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_VerifyPack(benchmark::State& state) {
+  const auto counts = random_counts(8, 1.0, 17);
+  const PackerConfig cfg;
+  const PackResult r = pack(counts, cfg);
+  for (auto _ : state) {
+    verify_pack(counts, cfg, r);
+  }
+}
+BENCHMARK(BM_VerifyPack);
+
+}  // namespace

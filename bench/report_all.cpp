@@ -1,0 +1,103 @@
+// report_all: run the full (workload x scheme) matrix ONCE and print
+// every system figure from it (Figures 11-14), optionally dumping the raw
+// CSV and per-figure SVGs — the one-command reproduction of the paper's
+// evaluation section.
+//
+//   $ ./report_all [--quick] [--ops=N] [--seed=N] [--csv=DIR_PREFIX]
+//                  [--svg=DIR_PREFIX]
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tw;
+
+namespace {
+
+struct Figure {
+  const char* title;
+  const char* y_label;
+  harness::MetricFn metric;
+  bool higher_better;
+  std::vector<double> paper;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Tetris Write — full evaluation report\n"
+            << "======================================\n"
+            << "config: " << pcm::table2_config().describe() << "\n\n";
+
+  const harness::Matrix m = bench::run_paper_matrix(o);
+
+  const Figure figures[] = {
+      {"Figure 11: normalized read latency", "normalized to DCW",
+       [](const harness::RunMetrics& r) { return r.read_latency_ns; },
+       false,
+       {0.61, 0.50, 0.44, 0.35}},
+      {"Figure 12: normalized write latency", "normalized to DCW",
+       [](const harness::RunMetrics& r) { return r.write_latency_ns; },
+       false,
+       {0.75, 0.67, 0.65, 0.60}},
+      {"Figure 13: IPC improvement", "x over DCW",
+       [](const harness::RunMetrics& r) { return r.ipc; }, true,
+       {1.4, 1.6, 1.8, 2.0}},
+      {"Figure 14: normalized running time", "normalized to DCW",
+       [](const harness::RunMetrics& r) { return r.runtime_ns; }, false,
+       {0.76, 0.66, 0.61, 0.54}},
+  };
+
+  bool all_ok = true;
+  int fig_no = 11;
+  for (const Figure& f : figures) {
+    std::cout << f.title << "\n";
+    AsciiTable t = harness::normalized_table(m, f.metric, 0);
+    std::vector<std::string> paper_row = {"paper avg", "1.000"};
+    for (const double v : f.paper) paper_row.push_back(fixed(v, 3));
+    t.add_row(std::move(paper_row));
+    t.print(std::cout);
+
+    const auto norm = harness::normalized_values(m, f.metric, 0);
+    const auto& geo = norm.back();
+    for (std::size_t s = 2; s < m.kinds.size(); ++s) {
+      const bool measured_better =
+          f.higher_better ? geo[s] > geo[s - 1] : geo[s] < geo[s - 1];
+      const bool paper_better = f.higher_better
+                                    ? f.paper[s - 1] > f.paper[s - 2]
+                                    : f.paper[s - 1] < f.paper[s - 2];
+      if (measured_better != paper_better) all_ok = false;
+    }
+    if (!o.svg_path.empty()) {
+      BarChart chart(f.title, f.y_label);
+      std::vector<std::string> names;
+      for (const auto kind : m.kinds)
+        names.emplace_back(schemes::scheme_name(kind));
+      chart.set_series(std::move(names));
+      for (std::size_t w = 0; w < m.workloads.size(); ++w)
+        chart.add_group(m.workloads[w].name, norm[w]);
+      chart.set_reference(1.0);
+      const std::string path =
+          o.svg_path + "_fig" + std::to_string(fig_no) + ".svg";
+      std::ofstream out(path);
+      chart.render(out);
+      std::cout << "(wrote " << path << ")\n";
+    }
+    std::cout << "\n";
+    ++fig_no;
+  }
+
+  if (!o.csv_path.empty()) {
+    std::ofstream out(o.csv_path);
+    harness::write_csv(m, out);
+    std::cout << "(raw matrix written to " << o.csv_path << ")\n";
+  }
+  std::cout << (all_ok
+                    ? "shape: OK — every figure's scheme ranking matches "
+                      "the paper\n"
+                    : "shape: MISMATCH\n");
+  return all_ok ? 0 : 1;
+}

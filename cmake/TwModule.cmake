@@ -1,0 +1,18 @@
+# Helper for declaring a tetriswrite library module.
+#
+#   tw_add_module(<name> SOURCES a.cpp b.cpp DEPS tw_common ...)
+#
+# Creates static library tw_<name> with the repository src/ directory on its
+# public include path (headers are included as "tw/<module>/<header>.hpp").
+function(tw_add_module NAME)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target tw_${NAME})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
+    $<INSTALL_INTERFACE:include>)
+  target_link_libraries(${target} PUBLIC ${ARG_DEPS} PRIVATE tw_warnings)
+  add_library(tw::${NAME} ALIAS ${target})
+  install(TARGETS ${target} EXPORT tetriswriteTargets
+          ARCHIVE DESTINATION lib)
+endfunction()

@@ -1,0 +1,95 @@
+#include "tw/cache/cache.hpp"
+
+#include <string>
+
+namespace tw::cache {
+
+Cache::Cache(CacheConfig cfg)
+    : cfg_(std::move(cfg)),
+      line_shift_(log2_pow2(cfg_.line_bytes)),
+      set_mask_(cfg_.sets() - 1),
+      ways_(cfg_.sets() * cfg_.ways) {
+  TW_EXPECTS(cfg_.valid());
+}
+
+u64 Cache::set_of(Addr addr) const {
+  return (addr >> line_shift_) & set_mask_;
+}
+
+u64 Cache::tag_of(Addr addr) const {
+  return (addr >> line_shift_) >> log2_pow2(cfg_.sets());
+}
+
+Addr Cache::rebuild(u64 tag, u64 set) const {
+  return ((tag << log2_pow2(cfg_.sets())) | set) << line_shift_;
+}
+
+AccessResult Cache::access(Addr addr, bool is_write) {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  Way* base = &ways_[set * cfg_.ways];
+
+  // Hit path.
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++lru_clock_;
+      way.dirty = way.dirty || is_write;
+      ++hits_;
+      return AccessResult{true, std::nullopt};
+    }
+  }
+
+  // Miss: allocate into an invalid way if one exists, else evict true-LRU.
+  ++misses_;
+  Way* victim = nullptr;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+
+  AccessResult result;
+  if (victim->valid && victim->dirty) {
+    result.writeback = rebuild(victim->tag, set);
+    ++writebacks_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++lru_clock_;
+  return result;
+}
+
+bool Cache::contains(Addr addr) const {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  const Way* base = &ways_[set * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+std::optional<Addr> Cache::invalidate(Addr addr) {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  Way* base = &ways_[set * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.valid = false;
+      if (way.dirty) {
+        way.dirty = false;
+        return rebuild(tag, set);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tw::cache

@@ -1,0 +1,86 @@
+#pragma once
+// Set-associative write-back write-allocate cache with true-LRU
+// replacement. Functional + timing-parameter model: lookups return hit/miss
+// and any dirty victim; the caller (hierarchy / CPU model) applies the
+// latencies.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::cache {
+
+/// Geometry and access latency of one cache level.
+struct CacheConfig {
+  u64 size_bytes = 32 * 1024;
+  u32 ways = 4;
+  u32 line_bytes = 64;
+  u32 latency_cycles = 2;
+  std::string name = "cache";
+
+  u64 sets() const { return size_bytes / (static_cast<u64>(ways) * line_bytes); }
+  bool valid() const {
+    return size_bytes > 0 && ways > 0 && line_bytes > 0 &&
+           is_pow2(line_bytes) && size_bytes % (u64{ways} * line_bytes) == 0 &&
+           is_pow2(sets());
+  }
+};
+
+/// Outcome of one cache access.
+struct AccessResult {
+  bool hit = false;
+  /// Dirty line evicted by the fill (write-back to the next level).
+  std::optional<Addr> writeback;
+};
+
+/// One cache level.
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  /// Look up and (on miss) allocate `addr`. `is_write` marks the line
+  /// dirty. Returns hit/miss and any dirty victim's line address.
+  AccessResult access(Addr addr, bool is_write);
+
+  /// Probe without side effects.
+  bool contains(Addr addr) const;
+
+  /// Invalidate a line if present; returns its address when it was dirty.
+  std::optional<Addr> invalidate(Addr addr);
+
+  const CacheConfig& config() const { return cfg_; }
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  u64 writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const u64 total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) /
+                                  static_cast<double>(total);
+  }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru = 0;  ///< higher = more recently used
+  };
+
+  u64 set_of(Addr addr) const;
+  u64 tag_of(Addr addr) const;
+  Addr rebuild(u64 tag, u64 set) const;
+
+  CacheConfig cfg_;
+  u64 line_shift_;
+  u64 set_mask_;
+  std::vector<Way> ways_;  ///< sets x ways, row-major
+  u64 lru_clock_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 writebacks_ = 0;
+};
+
+}  // namespace tw::cache

@@ -1,0 +1,56 @@
+#include "tw/cache/hierarchy.hpp"
+
+namespace tw::cache {
+
+Hierarchy::Hierarchy(const HierarchyConfig& cfg)
+    : l1d_(cfg.l1d), l2_(cfg.l2), l3_(cfg.l3) {}
+
+HierarchyResult Hierarchy::access(Addr addr, bool is_write) {
+  HierarchyResult r;
+
+  // L1.
+  r.latency_cycles += l1d_.config().latency_cycles;
+  const AccessResult a1 = l1d_.access(addr, is_write);
+  if (a1.hit) {
+    r.hit_level = 1;
+    return r;
+  }
+
+  // L1 victim write-back goes to L2 (allocate-on-writeback).
+  if (a1.writeback) {
+    const AccessResult wb = l2_.access(*a1.writeback, /*is_write=*/true);
+    if (wb.writeback) {
+      const AccessResult wb3 = l3_.access(*wb.writeback, true);
+      if (wb3.writeback) r.memory_writebacks.push_back(*wb3.writeback);
+    }
+  }
+
+  // L2. The demand fill into L1 was already done by the miss-allocate
+  // above; the line is clean in L1 unless the access was a store.
+  r.latency_cycles += l2_.config().latency_cycles;
+  const AccessResult a2 = l2_.access(addr, /*is_write=*/false);
+  if (a2.hit) {
+    r.hit_level = 2;
+    return r;
+  }
+  if (a2.writeback) {
+    const AccessResult wb3 = l3_.access(*a2.writeback, true);
+    if (wb3.writeback) r.memory_writebacks.push_back(*wb3.writeback);
+  }
+
+  // L3.
+  r.latency_cycles += l3_.config().latency_cycles;
+  const AccessResult a3 = l3_.access(addr, /*is_write=*/false);
+  if (a3.hit) {
+    r.hit_level = 3;
+    return r;
+  }
+  if (a3.writeback) r.memory_writebacks.push_back(*a3.writeback);
+
+  // Missed everywhere: demand read from PCM.
+  r.memory_read = true;
+  r.hit_level = 0;
+  return r;
+}
+
+}  // namespace tw::cache

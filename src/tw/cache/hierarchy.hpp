@@ -1,0 +1,53 @@
+#pragma once
+// Three-level cache hierarchy per Table II:
+//   L1: 32 KB I + 32 KB D, 2-cycle; L2: 2 MB 8-way, 20-cycle;
+//   L3: 32 MB 16-way DRAM cache, 50-cycle; 64 B lines throughout.
+//
+// Functional inclusive write-back model: an access walks down the levels;
+// misses allocate on the way back up; dirty evictions cascade toward
+// memory. The hierarchy returns what the CPU model needs: the hit latency
+// and the memory traffic (demand read + write-backs) the access caused.
+
+#include <vector>
+
+#include "tw/cache/cache.hpp"
+
+namespace tw::cache {
+
+/// Table II hierarchy geometry.
+struct HierarchyConfig {
+  CacheConfig l1d{32 * 1024, 8, 64, 2, "L1D"};
+  CacheConfig l1i{32 * 1024, 8, 64, 2, "L1I"};
+  CacheConfig l2{2 * 1024 * 1024, 8, 64, 20, "L2"};
+  CacheConfig l3{32ull * 1024 * 1024, 16, 64, 50, "L3"};
+};
+
+/// What one data access did.
+struct HierarchyResult {
+  u32 latency_cycles = 0;        ///< lookup latency down to the hit level
+  bool memory_read = false;      ///< missed everywhere: demand line fetch
+  std::vector<Addr> memory_writebacks;  ///< dirty lines pushed to memory
+  u32 hit_level = 0;             ///< 1..3, or 0 when memory_read
+};
+
+/// One core-private L1 + shared L2/L3 stack (a private stack per core is
+/// also fine for the trace experiments; sharing is configured by the
+/// owner wiring the same Hierarchy into several cores).
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyConfig& cfg);
+
+  /// Data access (loads and stores).
+  HierarchyResult access(Addr addr, bool is_write);
+
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+  const Cache& l3() const { return l3_; }
+
+ private:
+  Cache l1d_;
+  Cache l2_;
+  Cache l3_;
+};
+
+}  // namespace tw::cache

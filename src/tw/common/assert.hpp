@@ -1,0 +1,51 @@
+#pragma once
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw tw::ContractViolation so
+// tests can assert on misuse; checks stay enabled in release builds because
+// the simulator's correctness matters more than the last few percent of
+// speed (the hot loops avoid checks explicitly).
+
+#include <stdexcept>
+#include <string>
+
+namespace tw {
+
+/// Thrown when a TW_EXPECTS/TW_ENSURES/TW_ASSERT contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace tw
+
+#define TW_EXPECTS(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tw::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                  __LINE__);                               \
+  } while (false)
+
+#define TW_ENSURES(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tw::detail::contract_fail("postcondition", #cond, __FILE__,        \
+                                  __LINE__);                               \
+  } while (false)
+
+#define TW_ASSERT(cond)                                                    \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tw::detail::contract_fail("assertion", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Unconditional failure with a message (unreachable states, bad configs).
+#define TW_FAIL(msg) \
+  ::tw::detail::contract_fail("invariant", msg, __FILE__, __LINE__)

@@ -1,0 +1,80 @@
+#pragma once
+// Bit-level kernels used throughout the PCM write-scheme models.
+//
+// A "data unit" in the paper is 64 bits, so most kernels are expressed over
+// u64 words and std::span<const u64>. Writing a bit '1' into PCM is a SET
+// (crystallize), writing '0' is a RESET (amorphize); the kernels here count
+// which transitions a write actually performs given the old cell contents.
+
+#include <bit>
+#include <span>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw {
+
+/// Number of set bits in a word.
+constexpr u32 popcount(u64 v) { return static_cast<u32>(std::popcount(v)); }
+
+/// Hamming distance between two words.
+constexpr u32 hamming(u64 a, u64 b) { return popcount(a ^ b); }
+
+/// Hamming distance between two equal-length word spans.
+inline u32 hamming(std::span<const u64> a, std::span<const u64> b) {
+  TW_EXPECTS(a.size() == b.size());
+  u32 d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += hamming(a[i], b[i]);
+  return d;
+}
+
+/// Per-write transition counts: bits going 0->1 (SET) and 1->0 (RESET).
+struct BitTransitions {
+  u32 sets = 0;    ///< bits that must be SET (old 0, new 1)
+  u32 resets = 0;  ///< bits that must be RESET (old 1, new 0)
+
+  constexpr u32 total() const { return sets + resets; }
+  constexpr bool operator==(const BitTransitions&) const = default;
+};
+
+/// Count SET/RESET transitions writing `next` over `old_v` in one word.
+constexpr BitTransitions transitions(u64 old_v, u64 next) {
+  const u64 diff = old_v ^ next;
+  BitTransitions t;
+  t.sets = popcount(diff & next);      // 0 -> 1
+  t.resets = popcount(diff & old_v);   // 1 -> 0
+  return t;
+}
+
+/// Count SET/RESET transitions over equal-length word spans.
+inline BitTransitions transitions(std::span<const u64> old_v,
+                                  std::span<const u64> next) {
+  TW_EXPECTS(old_v.size() == next.size());
+  BitTransitions t;
+  for (std::size_t i = 0; i < old_v.size(); ++i) {
+    const BitTransitions w = transitions(old_v[i], next[i]);
+    t.sets += w.sets;
+    t.resets += w.resets;
+  }
+  return t;
+}
+
+/// Extract bit `i` (0 = LSB) of a word.
+constexpr bool get_bit(u64 v, u32 i) { return ((v >> i) & 1u) != 0; }
+
+/// Return `v` with bit `i` set to `b`.
+constexpr u64 with_bit(u64 v, u32 i, bool b) {
+  return b ? (v | (u64{1} << i)) : (v & ~(u64{1} << i));
+}
+
+/// Bitwise NOT over a span, in place.
+inline void invert(std::span<u64> v) {
+  for (auto& w : v) w = ~w;
+}
+
+/// A mask with the low `n` bits set (n in [0,64]).
+constexpr u64 low_mask(u32 n) {
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+}  // namespace tw

@@ -1,0 +1,27 @@
+#pragma once
+// Minimal CSV emission for experiment results (RFC-4180-style quoting).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tw {
+
+/// Streams rows of fields to an ostream as CSV. The writer does not own the
+/// stream; keep it alive for the writer's lifetime.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row; fields containing ',', '"' or newlines are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& names) { row(names); }
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream* out_;
+};
+
+}  // namespace tw

@@ -1,0 +1,55 @@
+#pragma once
+// A small work-stealing-free thread pool and parallel_for.
+//
+// Used exclusively to parallelize *independent* experiment cells
+// (workload x scheme simulations) in the benchmark harness. Individual
+// simulations are single-threaded and deterministic; parallelism never
+// changes results, only wall-clock time.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tw {
+
+/// Fixed-size thread pool executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Thread-safe.
+  void submit(std::function<void()> job);
+
+  /// Block until all submitted jobs have finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across a transient pool of worker threads.
+/// fn must be safe to invoke concurrently for distinct i. Exceptions thrown
+/// by fn propagate (first one wins) after all iterations complete or abort.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace tw

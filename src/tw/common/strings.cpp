@@ -1,0 +1,70 @@
+#include "tw/common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tw {
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pct(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string pad(std::string_view s, int width) {
+  std::string out(s);
+  const std::size_t w = static_cast<std::size_t>(width < 0 ? -width : width);
+  if (out.size() >= w) return out;
+  const std::string fill(w - out.size(), ' ');
+  return width < 0 ? fill + out : out + fill;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string ascii_bar(double frac, int width) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(frac * width));
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.append(static_cast<std::size_t>(width - filled), '.');
+  return out;
+}
+
+}  // namespace tw

@@ -1,0 +1,37 @@
+#pragma once
+// Small string/format helpers used by the reporting layers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tw/common/types.hpp"
+
+namespace tw {
+
+/// Format a double with fixed decimals, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double v, int decimals);
+
+/// Format a fraction as a percentage string, e.g. pct(0.653) == "65.3%".
+std::string pct(double fraction, int decimals = 1);
+
+/// Right-pad (positive width) or left-pad (negative width) with spaces.
+std::string pad(std::string_view s, int width);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Split on a delimiter character; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Render a horizontal ASCII bar of `frac` (clamped to [0,1]) out of width.
+std::string ascii_bar(double frac, int width = 40);
+
+}  // namespace tw

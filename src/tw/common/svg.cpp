@@ -1,0 +1,147 @@
+#include "tw/common/svg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/strings.hpp"
+
+namespace tw {
+namespace {
+
+// Color-blind-safe categorical palette (Okabe–Ito).
+const char* kPalette[] = {"#0072B2", "#E69F00", "#009E73", "#D55E00",
+                          "#CC79A7", "#56B4E9", "#F0E442", "#000000"};
+constexpr int kPaletteSize = 8;
+
+std::string esc(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BarChart::set_series(std::vector<std::string> names) {
+  series_ = std::move(names);
+}
+
+void BarChart::add_group(std::string category, std::vector<double> values) {
+  TW_EXPECTS(values.size() == series_.size());
+  groups_.push_back(Group{std::move(category), std::move(values)});
+}
+
+void BarChart::render(std::ostream& out, int width, int height) const {
+  const double margin_left = 64, margin_right = 16, margin_top = 48,
+               margin_bottom = 64;
+  const double plot_w = width - margin_left - margin_right;
+  const double plot_h = height - margin_top - margin_bottom;
+
+  double vmax = has_reference_ ? reference_ : 0.0;
+  for (const auto& g : groups_) {
+    for (const double v : g.values) vmax = std::max(vmax, v);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+  vmax *= 1.08;  // headroom
+
+  auto y_of = [&](double v) {
+    return margin_top + plot_h * (1.0 - v / vmax);
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out << "<text x=\"" << width / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+         "font-size=\"15\" font-weight=\"bold\">"
+      << esc(title_) << "</text>\n";
+
+  // Y axis + gridlines.
+  for (int i = 0; i <= 4; ++i) {
+    const double v = vmax * i / 4.0;
+    const double y = y_of(v);
+    out << "<line x1=\"" << margin_left << "\" y1=\"" << y << "\" x2=\""
+        << width - margin_right << "\" y2=\"" << y
+        << "\" stroke=\"#ddd\"/>\n";
+    out << "<text x=\"" << margin_left - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\" font-size=\"11\">" << fixed(v, 2)
+        << "</text>\n";
+  }
+  out << "<text x=\"14\" y=\"" << margin_top + plot_h / 2
+      << "\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 "
+         "14 "
+      << margin_top + plot_h / 2 << ")\">" << esc(y_label_) << "</text>\n";
+
+  // Bars.
+  const std::size_t ngroups = std::max<std::size_t>(groups_.size(), 1);
+  const double group_w = plot_w / static_cast<double>(ngroups);
+  const double bar_w =
+      group_w * 0.8 / static_cast<double>(std::max<std::size_t>(
+                          series_.size(), 1));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const double gx = margin_left + group_w * static_cast<double>(g) +
+                      group_w * 0.1;
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      const double v = groups_[g].values[s];
+      const double y = y_of(v);
+      out << "<rect x=\"" << gx + bar_w * static_cast<double>(s)
+          << "\" y=\"" << y << "\" width=\"" << bar_w * 0.92
+          << "\" height=\"" << (margin_top + plot_h) - y << "\" fill=\""
+          << kPalette[s % kPaletteSize] << "\"/>\n";
+    }
+    out << "<text x=\"" << gx + group_w * 0.4 << "\" y=\""
+        << margin_top + plot_h + 16
+        << "\" text-anchor=\"middle\" font-size=\"11\">"
+        << esc(groups_[g].category) << "</text>\n";
+  }
+
+  // Reference line.
+  if (has_reference_) {
+    const double y = y_of(reference_);
+    out << "<line x1=\"" << margin_left << "\" y1=\"" << y << "\" x2=\""
+        << width - margin_right << "\" y2=\"" << y
+        << "\" stroke=\"#888\" stroke-dasharray=\"5,4\"/>\n";
+  }
+
+  // Legend.
+  double lx = margin_left;
+  const double ly = static_cast<double>(height) - 18;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    out << "<rect x=\"" << lx << "\" y=\"" << ly - 10
+        << "\" width=\"12\" height=\"12\" fill=\""
+        << kPalette[s % kPaletteSize] << "\"/>\n";
+    out << "<text x=\"" << lx + 16 << "\" y=\"" << ly
+        << "\" font-size=\"12\">" << esc(series_[s]) << "</text>\n";
+    lx += 24 + 8.0 * static_cast<double>(series_[s].size());
+  }
+
+  // Axis frame.
+  out << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top
+      << "\" x2=\"" << margin_left << "\" y2=\"" << margin_top + plot_h
+      << "\" stroke=\"black\"/>\n";
+  out << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top + plot_h
+      << "\" x2=\"" << width - margin_right << "\" y2=\""
+      << margin_top + plot_h << "\" stroke=\"black\"/>\n";
+  out << "</svg>\n";
+}
+
+std::string BarChart::to_string(int width, int height) const {
+  std::ostringstream oss;
+  render(oss, width, height);
+  return oss.str();
+}
+
+}  // namespace tw

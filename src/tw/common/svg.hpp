@@ -1,0 +1,46 @@
+#pragma once
+// Minimal SVG grouped-bar-chart emitter, so the figure benches can write
+// actual figure files (fig11.svg, ...) next to their ASCII tables.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tw {
+
+/// A grouped bar chart: one group per category (workload), one bar per
+/// series (scheme) within each group.
+class BarChart {
+ public:
+  BarChart(std::string title, std::string y_label)
+      : title_(std::move(title)), y_label_(std::move(y_label)) {}
+
+  /// Define the series (legend entries), in drawing order.
+  void set_series(std::vector<std::string> names);
+
+  /// Append one category with one value per series.
+  void add_group(std::string category, std::vector<double> values);
+
+  /// Optional horizontal reference line (e.g. baseline = 1.0).
+  void set_reference(double y) { reference_ = y; has_reference_ = true; }
+
+  /// Render the SVG document.
+  void render(std::ostream& out, int width = 860, int height = 420) const;
+
+  std::string to_string(int width = 860, int height = 420) const;
+
+ private:
+  struct Group {
+    std::string category;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string y_label_;
+  std::vector<std::string> series_;
+  std::vector<Group> groups_;
+  double reference_ = 0.0;
+  bool has_reference_ = false;
+};
+
+}  // namespace tw

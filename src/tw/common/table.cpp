@@ -1,0 +1,92 @@
+#include "tw/common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace tw {
+
+void AsciiTable::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void AsciiTable::add_separator() {
+  rows_.push_back(Row{{}, true});
+}
+
+bool AsciiTable::looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') i = 1;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '%' && c != 'x' && c != 'e' && c != '-') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+void AsciiTable::print(std::ostream& out) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      width[c] = std::max(width[c], cells[c].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) measure(r.cells);
+
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < cols; ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      const std::size_t padding = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << ' ' << std::string(padding, ' ') << cell << " |";
+      } else {
+        out << ' ' << cell << std::string(padding, ' ') << " |";
+      }
+    }
+    out << '\n';
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      rule();
+    } else {
+      emit(r.cells);
+    }
+  }
+  rule();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace tw

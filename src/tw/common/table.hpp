@@ -1,0 +1,42 @@
+#pragma once
+// ASCII table rendering for benchmark/experiment output.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tw {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+/// Numeric-looking cells are right-aligned, text left-aligned.
+class AsciiTable {
+ public:
+  /// Set the header row (column names).
+  void set_header(std::vector<std::string> names);
+
+  /// Append a data row. Rows may be ragged; short rows are padded.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator after the last added row.
+  void add_separator();
+
+  /// Render to a stream with column alignment and separators.
+  void print(std::ostream& out) const;
+
+  /// Render to a string.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  static bool looks_numeric(const std::string& s);
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace tw

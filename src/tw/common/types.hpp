@@ -1,0 +1,61 @@
+#pragma once
+// Fundamental scalar types and time units shared by every tetriswrite module.
+//
+// All simulated time is kept in integer picoseconds so that the paper's
+// nanosecond-scale device timings (Tread = 50 ns, Treset = 53 ns,
+// Tset = 430 ns) and a 2 GHz CPU clock (500 ps/cycle) are all exactly
+// representable with no floating-point drift.
+
+#include <cstdint>
+#include <limits>
+
+namespace tw {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Simulated time in picoseconds.
+using Tick = std::uint64_t;
+
+/// Sentinel for "no time" / "infinitely far in the future".
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/// Construct a Tick from nanoseconds.
+constexpr Tick ns(u64 v) { return v * 1000; }
+/// Construct a Tick from microseconds.
+constexpr Tick us(u64 v) { return v * 1'000'000; }
+/// Construct a Tick from milliseconds.
+constexpr Tick ms(u64 v) { return v * 1'000'000'000; }
+/// Construct a Tick from picoseconds (identity; for symmetry/readability).
+constexpr Tick ps(u64 v) { return v; }
+
+/// Convert a Tick to (double) nanoseconds for reporting.
+constexpr double to_ns(Tick t) { return static_cast<double>(t) / 1000.0; }
+/// Convert a Tick to (double) microseconds for reporting.
+constexpr double to_us(Tick t) { return static_cast<double>(t) / 1e6; }
+/// Convert a Tick to (double) milliseconds for reporting.
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / 1e9; }
+
+/// Physical memory address (byte granularity).
+using Addr = std::uint64_t;
+
+/// Divide rounding up; b must be nonzero.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// True if v is a power of two (and nonzero).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr u32 log2_pow2(u64 v) {
+  u32 r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace tw

@@ -1,0 +1,11 @@
+#pragma once
+// Library version (kept in sync with the CMake project version).
+
+namespace tw {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace tw

@@ -1,0 +1,45 @@
+#include "tw/core/datapath.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::core {
+
+DatapathLayout DatapathLayout::for_geometry(u32 units_per_line,
+                                            u32 unit_bits) {
+  TW_EXPECTS(units_per_line >= 1);
+  TW_EXPECTS(unit_bits >= 2 && unit_bits <= 64);
+  DatapathLayout l;
+  l.units = units_per_line;
+  // After inversion at most half the unit changes, plus the tag cell.
+  const u32 max_count = unit_bits / 2 + 1;
+  u32 bits = 1;
+  while ((1u << bits) - 1 < max_count) ++bits;
+  l.count_bits = bits;
+  l.reg_bits = l.units * l.count_bits;
+  return l;
+}
+
+void CountsRegister::store(u32 unit, u32 count) {
+  TW_EXPECTS(unit < layout_.units);
+  if (count > layout_.max_count()) {
+    TW_FAIL("count exceeds datapath register field width");
+  }
+  fields_[unit] = count;
+}
+
+u32 CountsRegister::load(u32 unit) const {
+  TW_EXPECTS(unit < layout_.units);
+  return fields_[unit];
+}
+
+void latch_counts(const ReadStageResult& rs, CountsRegister& reg0,
+                  CountsRegister& reg1) {
+  TW_EXPECTS(reg0.layout().units >= rs.counts.size());
+  TW_EXPECTS(reg1.layout().units >= rs.counts.size());
+  for (const auto& c : rs.counts) {
+    reg0.store(c.unit, c.n0);
+    reg1.store(c.unit, c.n1);
+  }
+}
+
+}  // namespace tw::core

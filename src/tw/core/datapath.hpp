@@ -1,0 +1,59 @@
+#pragma once
+// Datapath register model (paper Fig. 6/7): Reg0 and Reg1 are 48-bit
+// registers storing, for each of the 8 data units, a 6-bit record of the
+// unit's label and its RESET / SET count. This model checks that the
+// hardware register budget actually fits the configured geometry and
+// provides the encode/decode used by the Tetris Write logic.
+
+#include <vector>
+
+#include "tw/common/types.hpp"
+#include "tw/core/read_stage.hpp"
+
+namespace tw::core {
+
+/// Geometry-derived register layout.
+struct DatapathLayout {
+  u32 units = 8;          ///< data units per line
+  u32 count_bits = 6;     ///< bits per stored count field
+  u32 reg_bits = 48;      ///< total register width (units * count_bits)
+
+  /// Layout for a given line geometry: counts go up to bits_per_unit/2
+  /// after inversion (+1 for the tag), so the field must hold
+  /// [0, bits_per_unit/2 + 1].
+  static DatapathLayout for_geometry(u32 units_per_line, u32 unit_bits);
+
+  /// Largest count representable in a field.
+  u32 max_count() const { return (1u << count_bits) - 1; }
+};
+
+/// A packed counts register (Reg0 holds write-0 counts, Reg1 write-1s).
+class CountsRegister {
+ public:
+  explicit CountsRegister(DatapathLayout layout) : layout_(layout) {
+    fields_.assign(layout.units, 0);
+  }
+
+  const DatapathLayout& layout() const { return layout_; }
+
+  /// Store a count for a unit; the value must fit the field width.
+  void store(u32 unit, u32 count);
+
+  /// Load a unit's count.
+  u32 load(u32 unit) const;
+
+  /// Total bits of register state in use (for overhead reporting).
+  u32 width_bits() const { return layout_.units * layout_.count_bits; }
+
+ private:
+  DatapathLayout layout_;
+  std::vector<u32> fields_;
+};
+
+/// Latch a read-stage result into the two registers; throws if any count
+/// exceeds the hardware field width (i.e. the configured geometry does not
+/// fit the paper's 48-bit register budget).
+void latch_counts(const ReadStageResult& rs, CountsRegister& reg0,
+                  CountsRegister& reg1);
+
+}  // namespace tw::core

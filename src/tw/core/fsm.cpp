@@ -1,0 +1,89 @@
+#include "tw/core/fsm.hpp"
+
+#include <algorithm>
+
+#include "tw/common/assert.hpp"
+
+namespace tw::core {
+
+FsmTrace execute_fsms(const PackResult& pack, const PackerConfig& cfg,
+                      const pcm::TimingParams& timing) {
+  TW_EXPECTS(cfg.valid());
+  const Tick t_set = timing.t_set;
+  const Tick sub = t_set / cfg.k;  // sub-write-unit duration
+  TW_EXPECTS(sub >= timing.t_reset);  // a RESET pulse fits in a sub-slot
+
+  // Start tick of global sub-slot s: write units are exactly K sub-slots;
+  // trailing sub-slots continue after the last write unit.
+  const u32 wu_slots = pack.result * cfg.k;
+  auto slot_start = [&](u32 s) -> Tick {
+    if (s < wu_slots) return (s / cfg.k) * t_set + (s % cfg.k) * sub;
+    return pack.result * t_set + (s - wu_slots) * sub;
+  };
+
+  FsmTrace trace;
+  trace.events.reserve(pack.write1_queue.size() + pack.write0_queue.size());
+
+  // FSM1: drive each write-1 for a full Tset per pass (one pass unless the
+  // unit's demand exceeded the whole budget).
+  for (const auto& w : pack.write1_queue) {
+    for (u32 p = 0; p < w.passes; ++p) {
+      FsmEvent e;
+      e.fsm = 1;
+      e.unit = w.unit;
+      e.slot = w.write_unit + p;
+      const u64 remaining =
+          static_cast<u64>(w.current) - std::min<u64>(w.current,
+                                                      u64{cfg.budget} * p);
+      e.current = static_cast<u32>(std::min<u64>(remaining, cfg.budget));
+      e.start = (w.write_unit + p) * t_set;
+      e.end = (w.write_unit + p + 1) * t_set;
+      trace.events.push_back(e);
+    }
+  }
+  // FSM0: fire a Treset pulse at each assigned sub-slot boundary.
+  for (const auto& w : pack.write0_queue) {
+    for (u32 p = 0; p < w.passes; ++p) {
+      FsmEvent e;
+      e.fsm = 0;
+      e.unit = w.unit;
+      e.slot = w.sub_slot + p;
+      const u64 remaining =
+          static_cast<u64>(w.current) - std::min<u64>(w.current,
+                                                      u64{cfg.budget} * p);
+      e.current = static_cast<u32>(std::min<u64>(remaining, cfg.budget));
+      e.start = slot_start(w.sub_slot + p);
+      e.end = e.start + timing.t_reset;
+      trace.events.push_back(e);
+    }
+  }
+
+  // Sort by start for a readable trace.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const FsmEvent& a, const FsmEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.fsm != b.fsm) return a.fsm > b.fsm;
+              return a.unit < b.unit;
+            });
+
+  for (const auto& e : trace.events)
+    trace.pulse_completion = std::max(trace.pulse_completion, e.end);
+  trace.schedule_length = pack.result * t_set + pack.subresult * sub;
+  TW_ENSURES(trace.pulse_completion <= trace.schedule_length ||
+             trace.events.empty());
+
+  // Current-budget check at every pulse start (pulses are slot-aligned, so
+  // peaks can only occur at starts).
+  for (const auto& e : trace.events) {
+    u64 draw = 0;
+    for (const auto& o : trace.events) {
+      if (o.start <= e.start && e.start < o.end) draw += o.current;
+    }
+    TW_ASSERT(draw <= cfg.budget);
+    trace.peak_current =
+        std::max(trace.peak_current, static_cast<u32>(draw));
+  }
+  return trace;
+}
+
+}  // namespace tw::core

@@ -1,0 +1,47 @@
+#pragma once
+// Individually-write stage: the FSM0 / FSM1 execution model (paper Fig. 8).
+//
+// FSM1 walks the write-1 queue: at each write-unit boundary it selects the
+// data units whose SETs belong to that write unit and drives them for a
+// full Tset. FSM0 walks the write-0 queue every sub-write-unit (Tset/K):
+// RESET pulses (Treset <= Tset/K) fire inside the interspaces. The FSMs
+// are independent and run simultaneously; this model reproduces their
+// cycle-level schedule and checks it against the analysis stage's
+// service-time claim (Eq. 5).
+
+#include <vector>
+
+#include "tw/common/types.hpp"
+#include "tw/core/packer.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::core {
+
+/// One driven program burst (a data unit's SET group or RESET group).
+struct FsmEvent {
+  Tick start = 0;  ///< pulse begin
+  Tick end = 0;    ///< pulse end (pulse width, not slot boundary)
+  u8 fsm = 0;      ///< 1 = FSM1 (write-1s), 0 = FSM0 (write-0s)
+  u32 unit = 0;    ///< data-unit index selected through the MUX
+  u32 slot = 0;    ///< write unit (fsm=1) or global sub-slot (fsm=0)
+  u32 current = 0; ///< current drawn while the pulse is active
+};
+
+/// The executed schedule of one cache-line write.
+struct FsmTrace {
+  std::vector<FsmEvent> events;
+  Tick pulse_completion = 0;     ///< last pulse end
+  Tick schedule_length = 0;      ///< Eq. 5 service time (slot-aligned)
+
+  /// Maximum instantaneous current across the schedule (checked against
+  /// the budget by execute_fsms).
+  u32 peak_current = 0;
+};
+
+/// Execute the FSMs over a pack result. Verifies en route that
+/// instantaneous current never exceeds cfg.budget and that the schedule
+/// length equals (result + subresult/K) * Tset.
+FsmTrace execute_fsms(const PackResult& pack, const PackerConfig& cfg,
+                      const pcm::TimingParams& timing);
+
+}  // namespace tw::core

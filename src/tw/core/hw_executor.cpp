@@ -1,0 +1,97 @@
+#include "tw/core/hw_executor.hpp"
+
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/core/write_driver.hpp"
+
+namespace tw::core {
+
+pcm::LineBuf HwExecutor::snapshot(const pcm::PcmArray& array,
+                                  u64 base_bit) const {
+  const auto& g = scheme_.config().geometry;
+  const u32 units = g.units_per_line();
+  const u32 bits = g.data_unit_bits;
+  pcm::LineBuf line(units);
+  for (u32 u = 0; u < units; ++u) {
+    const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+    line.set_cell(u, array.read_word(base, bits));
+    line.set_flip(u, array.read(base + bits));
+  }
+  return line;
+}
+
+pcm::LogicalLine HwExecutor::read_line(const pcm::PcmArray& array,
+                                       u64 base_bit) const {
+  return pcm::LogicalLine::from_physical(snapshot(array, base_bit));
+}
+
+HwWriteResult HwExecutor::write_line(pcm::PcmArray& array, u64 base_bit,
+                                     const pcm::LogicalLine& next) const {
+  const auto& cfg = scheme_.config();
+  const u32 bits = cfg.geometry.data_unit_bits;
+  const u32 units = cfg.geometry.units_per_line();
+  TW_EXPECTS(next.units() == units);
+  TW_EXPECTS(base_bit + static_cast<u64>(units) * (bits + 1) <=
+             array.size_bits());
+
+  HwWriteResult result;
+
+  // Read stage: sense the array (the read buffer of Fig. 6).
+  const pcm::LineBuf before = snapshot(array, base_bit);
+  result.analysis = scheme_.analyze(before, next);
+  const auto& plans = result.analysis.read.plans;
+
+  // Analysis verified, FSM schedule derived.
+  verify_pack(result.analysis.read.counts, result.analysis.packer_cfg,
+              result.analysis.pack);
+  result.trace = execute_fsms(result.analysis.pack,
+                              result.analysis.packer_cfg, cfg.timing);
+  result.service_time = result.trace.schedule_length;
+
+  // Drive the array in FSM event order: FSM1 events carry the SET pass of
+  // their data unit, FSM0 events the RESET pass. Tag cells ride with
+  // whichever pass their transition direction belongs to. Over-budget
+  // items span several events (partial passes); the cells are driven on
+  // the first one.
+  std::vector<std::pair<bool, bool>> driven(units, {false, false});
+  for (const auto& e : result.trace.events) {
+    const u32 u = e.unit;
+    TW_ASSERT(u < units);
+    bool& done = e.fsm == 1 ? driven[u].first : driven[u].second;
+    if (done) continue;
+    done = true;
+    const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+    const auto& plan = plans[u];
+    const WritePass pass =
+        e.fsm == 1 ? WritePass::kSet : WritePass::kReset;
+    const BitTransitions t = drive_pass(array, base, before.cell(u),
+                                        plan.new_cells, bits, pass);
+    result.pulses.sets += t.sets;
+    result.pulses.resets += t.resets;
+    if (plan.tag_changed && plan.tag_to_one == (pass == WritePass::kSet)) {
+      array.program(base + bits, plan.tag_to_one);
+      if (plan.tag_to_one) {
+        ++result.pulses.sets;
+      } else {
+        ++result.pulses.resets;
+      }
+    }
+  }
+
+  // Post-conditions: the array now holds the requested logical data and
+  // the pulse count equals the read stage's transition counts.
+  for (u32 u = 0; u < units; ++u) {
+    const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+    const u64 cells = array.read_word(base, bits);
+    const bool tag = array.read(base + bits);
+    const u64 logical = tag ? (~cells & low_mask(bits)) : cells;
+    TW_ENSURES(logical == (next.word(u) & low_mask(bits)));
+  }
+  const BitTransitions expected = result.analysis.read.total();
+  TW_ENSURES(result.pulses.sets == expected.sets);
+  TW_ENSURES(result.pulses.resets == expected.resets);
+  return result;
+}
+
+}  // namespace tw::core

@@ -1,0 +1,52 @@
+#pragma once
+// Hardware-level executor: runs a complete Tetris Write — read stage,
+// analysis stage, FSM schedule, gated write driver — against a real
+// PcmArray, cell by cell and pulse by pulse. This is the proof that the
+// three stages compose: after execution the array holds exactly the
+// requested logical data, every pulse respected the power budget and the
+// FSM timing, and the pulse count equals the read stage's transition
+// counts.
+//
+// The full-system simulator uses the faster LineBuf bookkeeping; this
+// executor backs it with a bit-accurate reference (tests cross-check the
+// two) and powers the wear/endurance studies.
+
+#include "tw/core/fsm.hpp"
+#include "tw/core/tetris_scheme.hpp"
+#include "tw/pcm/array.hpp"
+
+namespace tw::core {
+
+/// Result of one hardware-level line write.
+struct HwWriteResult {
+  TetrisAnalysis analysis;   ///< read + packing stages
+  FsmTrace trace;            ///< executed FSM schedule
+  BitTransitions pulses;     ///< cell pulses actually driven
+  Tick service_time = 0;     ///< Eq. 5 write-phase length
+};
+
+/// Layout: each data unit occupies (unit_bits + 1) cells in the array —
+/// unit_bits data cells followed by its flip-tag cell.
+class HwExecutor {
+ public:
+  /// `array` must hold at least units_per_line * (unit_bits + 1) cells
+  /// starting at base_bit for each line written.
+  explicit HwExecutor(const TetrisScheme& scheme) : scheme_(scheme) {}
+
+  /// Read the current logical line content from the array.
+  pcm::LogicalLine read_line(const pcm::PcmArray& array,
+                             u64 base_bit) const;
+
+  /// Execute a full Tetris line write of `next` at `base_bit`.
+  /// Throws ContractViolation if any invariant breaks (budget, timing,
+  /// final content).
+  HwWriteResult write_line(pcm::PcmArray& array, u64 base_bit,
+                           const pcm::LogicalLine& next) const;
+
+ private:
+  pcm::LineBuf snapshot(const pcm::PcmArray& array, u64 base_bit) const;
+
+  const TetrisScheme& scheme_;
+};
+
+}  // namespace tw::core

@@ -1,0 +1,218 @@
+#include "tw/core/packer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tw/common/assert.hpp"
+
+namespace tw::core {
+namespace {
+
+/// Sort order for both phases: decreasing current demand, index ascending
+/// for determinism.
+struct Item {
+  u32 unit;
+  u32 current;
+};
+
+std::vector<Item> sorted_items(std::span<const UnitCounts> counts,
+                               bool write1_phase, const PackerConfig& cfg) {
+  std::vector<Item> items;
+  items.reserve(counts.size());
+  for (const auto& c : counts) {
+    const u32 demand = write1_phase ? c.n1 : c.n0 * cfg.l;
+    if (demand > 0) items.push_back(Item{c.unit, demand});
+  }
+  if (cfg.order != PackOrder::kFirstFitArrival) {
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) {
+                if (a.current != b.current) return a.current > b.current;
+                return a.unit < b.unit;
+              });
+  }
+  return items;
+}
+
+}  // namespace
+
+PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
+  TW_EXPECTS(cfg.valid());
+  PackResult r;
+
+  // ---- Phase 1: write-1s into write units. -------------------------------
+  // During this phase every sub-slot of a write unit carries the same
+  // power, so track one value per write unit.
+  std::vector<u32> wu_power;  // per write unit, SET-current units in use
+  // Self-overlap bookkeeping: which write units unit i's write-1 spans.
+  std::vector<std::pair<u32, u32>> span_of_unit(counts.size(), {0, 0});
+
+  const bool best_fit = cfg.order == PackOrder::kBestFitDecreasing;
+  for (const Item& it : sorted_items(counts, /*write1_phase=*/true, cfg)) {
+    Write1Slot slot;
+    slot.unit = it.unit;
+    slot.current = it.current;
+    if (it.current > cfg.budget) {
+      // Over-budget item: ceil(current/budget) dedicated serial passes.
+      slot.passes = static_cast<u32>(ceil_div(it.current, cfg.budget));
+      slot.write_unit = static_cast<u32>(wu_power.size());
+      const u32 remainder = it.current - (slot.passes - 1) * cfg.budget;
+      for (u32 p = 0; p + 1 < slot.passes; ++p) wu_power.push_back(cfg.budget);
+      wu_power.push_back(remainder);
+    } else {
+      u32 target = static_cast<u32>(wu_power.size());
+      for (u32 w = 0; w < wu_power.size(); ++w) {
+        ++r.fit_checks;
+        if (wu_power[w] + it.current > cfg.budget) continue;
+        if (!best_fit) {
+          target = w;
+          break;
+        }
+        // Best fit: highest occupancy that still accommodates the item.
+        if (target == wu_power.size() || wu_power[w] > wu_power[target]) {
+          target = w;
+        }
+      }
+      if (target == wu_power.size()) wu_power.push_back(0);
+      wu_power[target] += it.current;
+      slot.write_unit = target;
+    }
+    TW_ASSERT(it.unit < span_of_unit.size());
+    span_of_unit[it.unit] = {slot.write_unit, slot.write_unit + slot.passes};
+    r.write1_queue.push_back(slot);
+  }
+  r.result = static_cast<u32>(wu_power.size());
+
+  // ---- Phase 2: write-0s into sub-write-units. ---------------------------
+  // Expand per-write-unit power to per-sub-slot power; trailing sub-slots
+  // are appended on demand with a fresh budget.
+  std::vector<u32>& slots = r.slot_power;
+  slots.reserve(static_cast<std::size_t>(r.result) * cfg.k);
+  for (u32 w = 0; w < r.result; ++w) {
+    for (u32 s = 0; s < cfg.k; ++s) slots.push_back(wu_power[w]);
+  }
+  const u32 wu_slot_count = static_cast<u32>(slots.size());
+
+  for (const Item& it : sorted_items(counts, /*write1_phase=*/false, cfg)) {
+    Write0Slot slot;
+    slot.unit = it.unit;
+    slot.current = it.current;
+    const auto [self_lo, self_hi] = span_of_unit[it.unit];
+    const u32 forbid_lo = cfg.forbid_self_overlap ? self_lo * cfg.k : 0;
+    const u32 forbid_hi = cfg.forbid_self_overlap ? self_hi * cfg.k : 0;
+
+    if (it.current > cfg.budget) {
+      // Over-budget write-0: dedicated trailing sub-slots.
+      slot.passes = static_cast<u32>(ceil_div(it.current, cfg.budget));
+      slot.sub_slot = static_cast<u32>(slots.size());
+      const u32 remainder = it.current - (slot.passes - 1) * cfg.budget;
+      for (u32 p = 0; p + 1 < slot.passes; ++p) slots.push_back(cfg.budget);
+      slots.push_back(remainder);
+      r.subresult += slot.passes;
+    } else {
+      u32 target = static_cast<u32>(slots.size());
+      for (u32 s = 0; s < slots.size(); ++s) {
+        ++r.fit_checks;
+        if (s >= forbid_lo && s < forbid_hi) continue;
+        if (slots[s] + it.current > cfg.budget) continue;
+        if (!best_fit) {
+          target = s;
+          break;
+        }
+        if (target == slots.size() || slots[s] > slots[target]) target = s;
+      }
+      if (target == slots.size()) {
+        slots.push_back(0);
+        ++r.subresult;
+      }
+      slots[target] += it.current;
+      slot.sub_slot = target;
+    }
+    r.write0_queue.push_back(slot);
+  }
+  TW_ENSURES(slots.size() == wu_slot_count + r.subresult);
+  return r;
+}
+
+double PackResult::power_utilization(u32 budget) const {
+  if (slot_power.empty() || budget == 0) return 0.0;
+  const u64 used = std::accumulate(slot_power.begin(), slot_power.end(),
+                                   u64{0});
+  return static_cast<double>(used) /
+         (static_cast<double>(slot_power.size()) *
+          static_cast<double>(budget));
+}
+
+void verify_pack(std::span<const UnitCounts> counts, const PackerConfig& cfg,
+                 const PackResult& r) {
+  // 1. Every unit with demand is scheduled exactly once per phase, with
+  //    the correct current.
+  std::vector<u32> seen1(counts.size(), 0), seen0(counts.size(), 0);
+  for (const auto& s : r.write1_queue) {
+    TW_ASSERT(s.unit < counts.size());
+    ++seen1[s.unit];
+    TW_ASSERT(s.current == counts[s.unit].n1);
+    TW_ASSERT(s.write_unit + s.passes <= r.result);
+  }
+  for (const auto& s : r.write0_queue) {
+    TW_ASSERT(s.unit < counts.size());
+    ++seen0[s.unit];
+    TW_ASSERT(s.current == counts[s.unit].n0 * cfg.l);
+    TW_ASSERT(s.sub_slot + s.passes <= r.total_sub_slots(cfg.k));
+  }
+  for (const auto& c : counts) {
+    TW_ASSERT(seen1[c.unit] == (c.n1 > 0 ? 1u : 0u));
+    TW_ASSERT(seen0[c.unit] == (c.n0 > 0 ? 1u : 0u));
+  }
+
+  // 2. Recompute per-sub-slot power from the queues and check the budget.
+  std::vector<u64> power(r.total_sub_slots(cfg.k), 0);
+  auto charge = [&](u32 first_slot, u32 slot_count, u64 current) {
+    // Spread an item's passes: each full pass draws the budget, the last
+    // pass the remainder.
+    u64 remaining = current;
+    for (u32 s = 0; s < slot_count; ++s) {
+      const u64 draw = std::min<u64>(remaining, cfg.budget);
+      power[first_slot + s] += draw;
+      remaining -= draw;
+    }
+    TW_ASSERT(remaining == 0);
+  };
+  for (const auto& s : r.write1_queue) {
+    if (s.passes == 1) {
+      for (u32 k = 0; k < cfg.k; ++k)
+        power[s.write_unit * cfg.k + k] += s.current;
+    } else {
+      // Dedicated passes: charge pass p's current to all K slots of
+      // write unit (write_unit + p).
+      u64 remaining = s.current;
+      for (u32 p = 0; p < s.passes; ++p) {
+        const u64 draw = std::min<u64>(remaining, cfg.budget);
+        for (u32 k = 0; k < cfg.k; ++k)
+          power[(s.write_unit + p) * cfg.k + k] += draw;
+        remaining -= draw;
+      }
+      TW_ASSERT(remaining == 0);
+    }
+  }
+  for (const auto& s : r.write0_queue) {
+    charge(s.sub_slot, s.passes, s.current);
+  }
+  for (std::size_t s = 0; s < power.size(); ++s) {
+    TW_ASSERT(power[s] <= cfg.budget);
+    TW_ASSERT(power[s] == r.slot_power[s]);
+  }
+
+  // 3. Self-overlap constraint.
+  if (cfg.forbid_self_overlap) {
+    std::vector<std::pair<u32, u32>> span(counts.size(), {0, 0});
+    for (const auto& s : r.write1_queue)
+      span[s.unit] = {s.write_unit * cfg.k, (s.write_unit + s.passes) * cfg.k};
+    for (const auto& s : r.write0_queue) {
+      const auto [lo, hi] = span[s.unit];
+      if (hi == 0) continue;  // unit has no write-1
+      TW_ASSERT(s.sub_slot + s.passes <= lo || s.sub_slot >= hi);
+    }
+  }
+}
+
+}  // namespace tw::core

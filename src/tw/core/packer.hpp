@@ -1,0 +1,115 @@
+#pragma once
+// Tetris Write analysis stage (the paper's Algorithm 2).
+//
+// Greedy two-phase first-fit-decreasing packing under a power budget:
+//
+//   Phase 1 (write-1s): data units sorted by SET current demand, placed
+//   first-fit into *write units*. A write-1 runs for a full Tset, which
+//   spans all K sub-write-units of its write unit, so its current is
+//   charged to every sub-slot of that write unit. `result` = number of
+//   write units opened.
+//
+//   Phase 2 (write-0s): data units sorted by RESET current demand
+//   (each RESET bit draws L x the SET current but only for Tset/K), placed
+//   first-fit into individual *sub-write-units* — the interspaces left by
+//   phase 1. When no existing sub-slot has room, additional trailing
+//   sub-write-units are appended (`subresult`).
+//
+// Service time (paper Eq. 5): (result + subresult/K) * Tset.
+//
+// Cleanups relative to the paper's pseudocode (which has off-by-one index
+// bugs, e.g. `j = result-1` as the open-new-unit test and updating slots
+// `1..j*K` instead of the unit's own K slots): we track per-sub-slot power
+// exactly, charge a write-1 only to its own write unit's K slots, and open
+// a new unit/slot when first-fit fails over all existing ones. Items whose
+// single-unit demand exceeds the whole budget (possible only in
+// small-budget ablations) take ceil(demand/budget) dedicated serial
+// passes.
+
+#include <span>
+#include <vector>
+
+#include "tw/common/types.hpp"
+#include "tw/core/read_stage.hpp"
+
+namespace tw::core {
+
+/// Packing heuristic (ablation: the paper uses first-fit decreasing).
+enum class PackOrder : u8 {
+  kFirstFitDecreasing,  ///< the paper's Algorithm 2
+  kFirstFitArrival,     ///< no sort — hardware-cheapest variant
+  kBestFitDecreasing,   ///< tightest-fitting slot instead of first
+};
+
+/// Packing parameters (derived from PcmConfig by the Tetris scheme).
+struct PackerConfig {
+  u32 k = 8;           ///< sub-write-units per write unit (time asymmetry)
+  u32 l = 2;           ///< RESET/SET current ratio (power asymmetry)
+  u32 budget = 128;    ///< power budget per (sub-)write unit, SET-current units
+  PackOrder order = PackOrder::kFirstFitDecreasing;
+  /// Forbid a data unit's write-0 from sharing a sub-slot window with its
+  /// own write-1. The paper's Fig. 4 worked example *allows* this overlap
+  /// (dataunit[5-7]'s write-0s run inside the same write unit as their
+  /// write-1s — the two target disjoint bits, driven by independent
+  /// FSMs), so the default is false; enabling it models a conservative
+  /// MUX that can select a data unit for only one FSM at a time
+  /// (ablation_packing measures the cost).
+  bool forbid_self_overlap = false;
+
+  bool valid() const { return k >= 1 && l >= 1 && budget >= 1; }
+};
+
+/// Where one data unit's write-1 was scheduled.
+struct Write1Slot {
+  u32 unit = 0;        ///< data-unit index
+  u32 write_unit = 0;  ///< 0-based write unit (runs [wu*Tset, (wu+1)*Tset))
+  u32 current = 0;     ///< SET-current units drawn
+  u32 passes = 1;      ///< serial partial passes (1 unless over-budget item)
+};
+
+/// Where one data unit's write-0 was scheduled.
+struct Write0Slot {
+  u32 unit = 0;      ///< data-unit index
+  u32 sub_slot = 0;  ///< 0-based global sub-slot index (K per write unit)
+  u32 current = 0;   ///< SET-current units drawn (n0 * L)
+  u32 passes = 1;    ///< serial partial passes (1 unless over-budget item)
+};
+
+/// Full analysis-stage output.
+struct PackResult {
+  u32 result = 0;     ///< write units consumed by write-1s (paper: result)
+  u32 subresult = 0;  ///< trailing sub-write-units for write-0s
+  std::vector<Write1Slot> write1_queue;  ///< FSM1 program, schedule order
+  std::vector<Write0Slot> write0_queue;  ///< FSM0 program, schedule order
+  /// Power drawn per sub-slot, length result*k + subresult.
+  std::vector<u32> slot_power;
+
+  /// Hardware-cost accounting for the analysis stage: placement
+  /// comparisons performed (the paper budgets 41 cycles at 400 MHz for
+  /// the whole algorithm on 8 units; tests bound these counts).
+  u64 fit_checks = 0;
+
+  /// The paper's Fig. 10 metric: serial write-unit equivalents.
+  double write_unit_equiv(u32 k) const {
+    return static_cast<double>(result) +
+           static_cast<double>(subresult) / static_cast<double>(k);
+  }
+
+  /// Fraction of the offered power-budget x time actually drawn.
+  double power_utilization(u32 budget) const;
+
+  /// Total sub-slots (the schedule length in sub-slot granularity).
+  u32 total_sub_slots(u32 k) const { return result * k + subresult; }
+};
+
+/// Run Algorithm 2 on the read-stage counts.
+PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg);
+
+/// Verify a PackResult against its inputs: per-sub-slot power within
+/// budget, every nonzero-count unit scheduled exactly once per phase, and
+/// (if configured) no self overlap. Throws ContractViolation on failure.
+/// Used by tests and by the FSM model's self-checks.
+void verify_pack(std::span<const UnitCounts> counts, const PackerConfig& cfg,
+                 const PackResult& r);
+
+}  // namespace tw::core

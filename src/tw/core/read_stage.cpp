@@ -1,0 +1,30 @@
+#include "tw/core/read_stage.hpp"
+
+namespace tw::core {
+
+ReadStageResult read_stage(const pcm::LineBuf& line,
+                           const pcm::LogicalLine& next, u32 bits) {
+  ReadStageResult r;
+  r.plans = schemes::plan_line(line, next, schemes::FlipCriterion::kHamming,
+                               bits);
+  r.counts.reserve(r.plans.size());
+  for (u32 i = 0; i < r.plans.size(); ++i) {
+    const auto& p = r.plans[i];
+    UnitCounts c;
+    c.unit = i;
+    c.n1 = p.sets;
+    c.n0 = p.resets;
+    if (p.tag_changed) {
+      if (p.tag_to_one) {
+        ++c.n1;
+      } else {
+        ++c.n0;
+      }
+    }
+    if (p.flip) ++r.flipped_units;
+    r.counts.push_back(c);
+  }
+  return r;
+}
+
+}  // namespace tw::core

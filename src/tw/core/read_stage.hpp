@@ -1,0 +1,52 @@
+#pragma once
+// Tetris Write read stage (the paper's Algorithm 1).
+//
+// Reads the original data and flip tag, applies the Flip-N-Write inversion
+// when more than half of a unit's cells would change, and counts the
+// number of write-1 (SET) and write-0 (RESET) bit operations each data
+// unit actually needs. Those counts drive the analysis stage.
+//
+// Note on the paper's pseudocode: Algorithm 1 literally counts the ones
+// and zeros *of D* ("N1 = Count_the_number_of_1(D)"), but the surrounding
+// text, Observation 1, and the Fig. 4 worked example all count the bits
+// that *changed* (the motivation is "monitor the number of '1' and '0'
+// changed in each data unit"). We implement the changed-bit counts; the
+// write driver's PROG-enable gating (Fig. 9) only pulses changed cells,
+// which confirms this reading.
+
+#include <vector>
+
+#include "tw/pcm/line.hpp"
+#include "tw/schemes/prep.hpp"
+
+namespace tw::core {
+
+/// Per-data-unit result of the read stage.
+struct UnitCounts {
+  u32 unit = 0;  ///< data-unit index within the cache line
+  u32 n1 = 0;    ///< SET bit-writes required (write-1s), incl. tag if 0->1
+  u32 n0 = 0;    ///< RESET bit-writes required (write-0s), incl. tag if 1->0
+};
+
+/// Full read-stage output for one cache-line write.
+struct ReadStageResult {
+  std::vector<schemes::UnitPlan> plans;  ///< per-unit flip decisions + cells
+  std::vector<UnitCounts> counts;        ///< per-unit SET/RESET counts
+  u32 flipped_units = 0;
+
+  /// Total changed bits across the line (incl. tag cells).
+  BitTransitions total() const {
+    BitTransitions t;
+    for (const auto& c : counts) {
+      t.sets += c.n1;
+      t.resets += c.n0;
+    }
+    return t;
+  }
+};
+
+/// Run Algorithm 1 over a line write. `bits` is the data-unit width.
+ReadStageResult read_stage(const pcm::LineBuf& line,
+                           const pcm::LogicalLine& next, u32 bits);
+
+}  // namespace tw::core

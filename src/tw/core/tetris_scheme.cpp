@@ -1,0 +1,167 @@
+#include "tw/core/tetris_scheme.hpp"
+
+#include <algorithm>
+
+#include "tw/core/fsm.hpp"
+
+namespace tw::core {
+namespace {
+
+/// Per-chip transition demand of one unit write: bits [c*w, (c+1)*w) of
+/// the unit live on chip c. Returns the worst chip's SET and RESET counts.
+struct ChipWorst {
+  u32 sets = 0;
+  u32 resets = 0;
+};
+
+ChipWorst worst_chip_demand(u64 old_cells, u64 new_cells, u32 unit_bits,
+                            u32 chips) {
+  ChipWorst w;
+  const u32 per_chip = unit_bits / chips;
+  const u64 diff = (old_cells ^ new_cells) & low_mask(unit_bits);
+  for (u32 c = 0; c < chips; ++c) {
+    const u64 mask = low_mask(per_chip) << (c * per_chip);
+    const u32 s = popcount(diff & new_cells & mask);
+    const u32 r = popcount(diff & old_cells & mask);
+    w.sets = std::max(w.sets, s);
+    w.resets = std::max(w.resets, r);
+  }
+  return w;
+}
+
+}  // namespace
+
+TetrisScheme::TetrisScheme(const pcm::PcmConfig& cfg, TetrisOptions opts)
+    : WriteScheme(cfg), opts_(opts) {}
+
+PackerConfig TetrisScheme::make_packer_config() const {
+  PackerConfig p;
+  p.k = cfg_.k();
+  p.l = cfg_.l();
+  p.budget = cfg_.bank_power_budget();
+  p.forbid_self_overlap = opts_.forbid_self_overlap;
+  p.order = opts_.pack_order;
+  return p;
+}
+
+std::vector<UnitCounts> TetrisScheme::packing_counts(
+    const pcm::LineBuf& line, const ReadStageResult& read,
+    u32 unit_base) const {
+  std::vector<UnitCounts> counts = read.counts;
+  const bool per_chip =
+      opts_.respect_gcp_setting && !cfg_.power.global_charge_pump &&
+      cfg_.geometry.chips_per_bank > 1 &&
+      cfg_.geometry.data_unit_bits % cfg_.geometry.chips_per_bank == 0;
+  for (u32 i = 0; i < counts.size(); ++i) {
+    if (per_chip) {
+      // Per-chip budgets bind: charge each unit chips x its worst chip's
+      // demand so that no chip can exceed its local share of the budget.
+      const auto& p = read.plans[i];
+      const ChipWorst w =
+          worst_chip_demand(line.cell(i), p.new_cells,
+                            cfg_.geometry.data_unit_bits,
+                            cfg_.geometry.chips_per_bank);
+      // A tag-only transition keeps a nonzero demand of 1.
+      if (counts[i].n1 > 0) {
+        counts[i].n1 =
+            std::max(w.sets * cfg_.geometry.chips_per_bank, 1u);
+      }
+      if (counts[i].n0 > 0) {
+        counts[i].n0 =
+            std::max(w.resets * cfg_.geometry.chips_per_bank, 1u);
+      }
+    }
+    counts[i].unit += unit_base;
+  }
+  return counts;
+}
+
+TetrisAnalysis TetrisScheme::analyze(const pcm::LineBuf& line,
+                                     const pcm::LogicalLine& next) const {
+  TetrisAnalysis a;
+  a.read = read_stage(line, next, cfg_.geometry.data_unit_bits);
+  a.packer_cfg = make_packer_config();
+
+  const std::vector<UnitCounts> counts = packing_counts(line, a.read, 0);
+  a.pack = pack(counts, a.packer_cfg);
+  if (opts_.self_check) {
+    verify_pack(counts, a.packer_cfg, a.pack);
+    (void)execute_fsms(a.pack, a.packer_cfg, cfg_.timing);
+  }
+  return a;
+}
+
+schemes::ServicePlan TetrisScheme::plan_write(
+    pcm::LineBuf& line, const pcm::LogicalLine& next) const {
+  const TetrisAnalysis a = analyze(line, next);
+
+  schemes::ServicePlan s;
+  s.read_before_write = true;
+  s.analysis_ticks = opts_.analysis_latency();
+  s.flipped_units = a.read.flipped_units;
+  s.programmed = a.read.total();
+  s.silent = s.programmed.total() == 0;
+
+  const Tick sub = cfg_.timing.t_set / a.packer_cfg.k;
+  const Tick write_phase =
+      a.pack.result * cfg_.timing.t_set + a.pack.subresult * sub;
+  s.latency = cfg_.timing.t_read + s.analysis_ticks + write_phase;
+  s.write_units = a.pack.write_unit_equiv(a.packer_cfg.k);
+
+  schemes::apply_plans(line, a.read.plans);
+  return s;
+}
+
+schemes::BatchServicePlan TetrisScheme::plan_write_batch(
+    std::span<pcm::LineBuf*> lines,
+    std::span<const pcm::LogicalLine> datas) const {
+  TW_EXPECTS(lines.size() == datas.size());
+  TW_EXPECTS(!lines.empty());
+  const u32 units = cfg_.geometry.units_per_line();
+  const PackerConfig pcfg = make_packer_config();
+
+  // Read stage per line; counts concatenated with per-line unit offsets.
+  std::vector<ReadStageResult> reads;
+  std::vector<UnitCounts> all_counts;
+  reads.reserve(lines.size());
+  all_counts.reserve(lines.size() * units);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    reads.push_back(
+        read_stage(*lines[i], datas[i], cfg_.geometry.data_unit_bits));
+    const auto counts = packing_counts(*lines[i], reads.back(),
+                                       static_cast<u32>(i) * units);
+    all_counts.insert(all_counts.end(), counts.begin(), counts.end());
+  }
+
+  // One joint packing over every unit of every line.
+  const PackResult packed = pack(all_counts, pcfg);
+  if (opts_.self_check) verify_pack(all_counts, pcfg, packed);
+
+  const Tick sub = cfg_.timing.t_set / pcfg.k;
+  const Tick write_phase =
+      packed.result * cfg_.timing.t_set + packed.subresult * sub;
+  // Reads-before-write serialize on the bank; each line carries its own
+  // analysis (its own Reg0/Reg1 + analyzer pass).
+  const Tick overhead =
+      lines.size() * (cfg_.timing.t_read + opts_.analysis_latency());
+
+  schemes::BatchServicePlan batch;
+  batch.latency = overhead + write_phase;
+  const double shared_units =
+      packed.write_unit_equiv(pcfg.k) / static_cast<double>(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    schemes::ServicePlan s;
+    s.read_before_write = true;
+    s.analysis_ticks = opts_.analysis_latency();
+    s.flipped_units = reads[i].flipped_units;
+    s.programmed = reads[i].total();
+    s.silent = s.programmed.total() == 0;
+    s.latency = batch.latency;  // all lines complete together
+    s.write_units = shared_units;
+    schemes::apply_plans(*lines[i], reads[i].plans);
+    batch.per_line.push_back(std::move(s));
+  }
+  return batch;
+}
+
+}  // namespace tw::core

@@ -1,0 +1,46 @@
+#include "tw/core/write_driver.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::core {
+
+BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
+                          u64 new_word, u32 bits, WritePass pass) {
+  TW_EXPECTS(bits >= 1 && bits <= 64);
+  const u64 mask = low_mask(bits);
+  old_word &= mask;
+  new_word &= mask;
+
+  const u64 prog_enable = old_word ^ new_word;  // XOR gate
+  const u64 set_enable = new_word;              // write signal = One
+  const u64 reset_enable = ~new_word & mask;    // write signal = Zero
+  const u64 drive = prog_enable & (pass == WritePass::kSet ? set_enable
+                                                           : reset_enable);
+
+  BitTransitions t;
+  for (u32 i = 0; i < bits; ++i) {
+    if (!get_bit(drive, i)) continue;
+    const bool value = pass == WritePass::kSet;
+    if (array.program(base_bit + i, value) == pcm::ProgramResult::kWornOut)
+      continue;
+    if (value) {
+      ++t.sets;
+    } else {
+      ++t.resets;
+    }
+  }
+  return t;
+}
+
+BitTransitions drive_unit(pcm::PcmArray& array, u64 base_bit, u64 old_word,
+                          u64 new_word, u32 bits) {
+  BitTransitions t = drive_pass(array, base_bit, old_word, new_word, bits,
+                                WritePass::kSet);
+  const BitTransitions r = drive_pass(array, base_bit, old_word, new_word,
+                                      bits, WritePass::kReset);
+  t.sets += r.sets;
+  t.resets += r.resets;
+  return t;
+}
+
+}  // namespace tw::core

@@ -1,0 +1,32 @@
+#pragma once
+// Write-driver model (paper Fig. 9): program pulses reach a cell only when
+// the PROG-enable signal (old XOR new, from the read buffer) AND the
+// matching SET/RESET-enable signal (from the FSM's write signal) are both
+// active. This is what makes Tetris Write pulse exactly the changed bits,
+// split across the two FSM passes.
+
+#include "tw/common/bits.hpp"
+#include "tw/pcm/array.hpp"
+
+namespace tw::core {
+
+/// Which write signal the FSM is driving.
+enum class WritePass : u8 {
+  kSet,    ///< FSM1: program bits transitioning 0 -> 1
+  kReset,  ///< FSM0: program bits transitioning 1 -> 0
+};
+
+/// Drive one pass of a data-unit write into the array.
+///
+/// `old_word` is the read-buffer content (what the cells held), `new_word`
+/// the data from the DX mux. PROG-enable = old XOR new; only bits whose
+/// transition direction matches `pass` are pulsed. Returns the transitions
+/// performed (one field is always zero).
+BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
+                          u64 new_word, u32 bits, WritePass pass);
+
+/// Convenience: both passes (SET then RESET), as a full data-unit write.
+BitTransitions drive_unit(pcm::PcmArray& array, u64 base_bit, u64 old_word,
+                          u64 new_word, u32 bits);
+
+}  // namespace tw::core

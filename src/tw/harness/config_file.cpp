@@ -1,0 +1,272 @@
+#include "tw/harness/config_file.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "tw/common/strings.hpp"
+
+namespace tw::harness {
+namespace {
+
+using Setter = std::function<void(SystemConfig&, const std::string&)>;
+
+u64 to_u64(const std::string& v) {
+  std::size_t pos = 0;
+  const u64 out = std::stoull(v, &pos);
+  if (pos != v.size()) throw std::runtime_error("not an integer: " + v);
+  return out;
+}
+
+double to_double(const std::string& v) {
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) throw std::runtime_error("not a number: " + v);
+  return out;
+}
+
+bool to_bool(const std::string& v) {
+  const std::string s = to_lower(v);
+  if (s == "true" || s == "1" || s == "on" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "off" || s == "no") return false;
+  throw std::runtime_error("not a boolean: " + v);
+}
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> kSetters = {
+      // -- device timing / power / geometry -------------------------------
+      {"pcm.t_read_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.timing.t_read = ns(to_u64(v));
+       }},
+      {"pcm.t_reset_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.timing.t_reset = ns(to_u64(v));
+       }},
+      {"pcm.t_set_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.timing.t_set = ns(to_u64(v));
+       }},
+      {"pcm.chip_budget",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.power.chip_budget = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.reset_current_ratio",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.power.reset_current_ratio_l = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.gcp",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.power.global_charge_pump = to_bool(v);
+       }},
+      {"pcm.chips_per_bank",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.geometry.chips_per_bank = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.chip_write_bits",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.geometry.chip_write_bits = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.line_bytes",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.geometry.cache_line_bytes = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.banks",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.geometry.banks = static_cast<u32>(to_u64(v));
+       }},
+      {"pcm.subarrays",
+       [](SystemConfig& c, const std::string& v) {
+         c.pcm.geometry.subarrays_per_bank = static_cast<u32>(to_u64(v));
+       }},
+      // -- controller ------------------------------------------------------
+      {"controller.read_queue",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.read_queue_entries = static_cast<u32>(to_u64(v));
+       }},
+      {"controller.write_queue",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.write_queue_entries = static_cast<u32>(to_u64(v));
+       }},
+      {"controller.drain",
+       [](SystemConfig& c, const std::string& v) {
+         const std::string s = to_lower(v);
+         if (s == "strict") {
+           c.controller.drain = mem::ControllerConfig::DrainPolicy::kStrict;
+         } else if (s == "opportunistic") {
+           c.controller.drain =
+               mem::ControllerConfig::DrainPolicy::kOpportunistic;
+         } else {
+           throw std::runtime_error("drain must be strict|opportunistic");
+         }
+       }},
+      {"controller.drain_low",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.drain_low_watermark = static_cast<u32>(to_u64(v));
+       }},
+      {"controller.write_coalescing",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.write_coalescing = to_bool(v);
+       }},
+      {"controller.read_forwarding",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.read_forwarding = to_bool(v);
+       }},
+      {"controller.write_pausing",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.write_pausing = to_bool(v);
+       }},
+      {"controller.wear_leveling",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.wear_leveling = to_bool(v);
+       }},
+      {"controller.gap_interval",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.start_gap.gap_write_interval =
+             static_cast<u32>(to_u64(v));
+       }},
+      {"controller.gap_region_lines",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.start_gap.region_lines = to_u64(v);
+       }},
+      {"controller.write_batch",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.write_batch = static_cast<u32>(to_u64(v));
+       }},
+      // -- cores -----------------------------------------------------------
+      {"core.clock_ps",
+       [](SystemConfig& c, const std::string& v) {
+         c.core.clock_period = to_u64(v);
+       }},
+      {"core.peak_ipc",
+       [](SystemConfig& c, const std::string& v) {
+         c.core.peak_ipc = to_double(v);
+       }},
+      {"core.mlp",
+       [](SystemConfig& c, const std::string& v) {
+         c.core.mlp = static_cast<u32>(to_u64(v));
+       }},
+      // -- tetris ----------------------------------------------------------
+      {"tetris.analysis_cycles",
+       [](SystemConfig& c, const std::string& v) {
+         c.tetris.analysis_cycles = static_cast<u32>(to_u64(v));
+       }},
+      {"tetris.forbid_self_overlap",
+       [](SystemConfig& c, const std::string& v) {
+         c.tetris.forbid_self_overlap = to_bool(v);
+       }},
+      // -- run -------------------------------------------------------------
+      {"sys.cores",
+       [](SystemConfig& c, const std::string& v) {
+         c.cores = static_cast<u32>(to_u64(v));
+       }},
+      {"sys.instructions",
+       [](SystemConfig& c, const std::string& v) {
+         c.instructions_per_core = to_u64(v);
+       }},
+      {"sys.seed",
+       [](SystemConfig& c, const std::string& v) { c.seed = to_u64(v); }},
+  };
+  return kSetters;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+SystemConfig parse_system_config(std::istream& in) {
+  SystemConfig cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": expected key = value");
+    }
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    const auto it = setters().find(key);
+    if (it == setters().end()) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": unknown key '" + key + "'");
+    }
+    try {
+      it->second(cfg, value);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               " (" + key + "): " + e.what());
+    }
+  }
+  return cfg;
+}
+
+SystemConfig load_system_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return parse_system_config(in);
+}
+
+void write_system_config(const SystemConfig& cfg, std::ostream& out) {
+  out << "# tetriswrite experiment configuration\n";
+  out << "pcm.t_read_ns = " << cfg.pcm.timing.t_read / 1000 << "\n";
+  out << "pcm.t_reset_ns = " << cfg.pcm.timing.t_reset / 1000 << "\n";
+  out << "pcm.t_set_ns = " << cfg.pcm.timing.t_set / 1000 << "\n";
+  out << "pcm.chip_budget = " << cfg.pcm.power.chip_budget << "\n";
+  out << "pcm.reset_current_ratio = " << cfg.pcm.power.reset_current_ratio_l
+      << "\n";
+  out << "pcm.gcp = " << (cfg.pcm.power.global_charge_pump ? "true" : "false")
+      << "\n";
+  out << "pcm.chips_per_bank = " << cfg.pcm.geometry.chips_per_bank << "\n";
+  out << "pcm.chip_write_bits = " << cfg.pcm.geometry.chip_write_bits << "\n";
+  out << "pcm.line_bytes = " << cfg.pcm.geometry.cache_line_bytes << "\n";
+  out << "pcm.banks = " << cfg.pcm.geometry.banks << "\n";
+  out << "pcm.subarrays = " << cfg.pcm.geometry.subarrays_per_bank << "\n";
+  out << "controller.read_queue = " << cfg.controller.read_queue_entries
+      << "\n";
+  out << "controller.write_queue = " << cfg.controller.write_queue_entries
+      << "\n";
+  out << "controller.drain = "
+      << (cfg.controller.drain == mem::ControllerConfig::DrainPolicy::kStrict
+              ? "strict"
+              : "opportunistic")
+      << "\n";
+  out << "controller.drain_low = " << cfg.controller.drain_low_watermark
+      << "\n";
+  out << "controller.write_coalescing = "
+      << (cfg.controller.write_coalescing ? "true" : "false") << "\n";
+  out << "controller.read_forwarding = "
+      << (cfg.controller.read_forwarding ? "true" : "false") << "\n";
+  out << "controller.write_pausing = "
+      << (cfg.controller.write_pausing ? "true" : "false") << "\n";
+  out << "controller.wear_leveling = "
+      << (cfg.controller.wear_leveling ? "true" : "false") << "\n";
+  out << "controller.gap_interval = "
+      << cfg.controller.start_gap.gap_write_interval << "\n";
+  out << "controller.gap_region_lines = "
+      << cfg.controller.start_gap.region_lines << "\n";
+  out << "controller.write_batch = " << cfg.controller.write_batch << "\n";
+  out << "core.clock_ps = " << cfg.core.clock_period << "\n";
+  out << "core.peak_ipc = " << cfg.core.peak_ipc << "\n";
+  out << "core.mlp = " << cfg.core.mlp << "\n";
+  out << "tetris.analysis_cycles = " << cfg.tetris.analysis_cycles << "\n";
+  out << "tetris.forbid_self_overlap = "
+      << (cfg.tetris.forbid_self_overlap ? "true" : "false") << "\n";
+  out << "sys.cores = " << cfg.cores << "\n";
+  out << "sys.instructions = " << cfg.instructions_per_core << "\n";
+  out << "sys.seed = " << cfg.seed << "\n";
+}
+
+}  // namespace tw::harness

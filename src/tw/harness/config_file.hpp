@@ -1,0 +1,31 @@
+#pragma once
+// INI-style experiment configuration files: every SystemConfig knob as a
+// dotted "key = value" line, with round-trip serialization so experiment
+// setups can be archived next to their results.
+//
+//   # example.cfg
+//   pcm.t_set_ns = 430
+//   pcm.chip_budget = 32
+//   controller.drain = strict
+//   sys.cores = 4
+//
+// Unknown keys and malformed values throw std::runtime_error with the
+// offending line number.
+
+#include <iosfwd>
+#include <string>
+
+#include "tw/harness/experiment.hpp"
+
+namespace tw::harness {
+
+/// Parse a config stream into a SystemConfig (starting from defaults).
+SystemConfig parse_system_config(std::istream& in);
+
+/// Load a config file. Throws std::runtime_error on I/O or parse errors.
+SystemConfig load_system_config(const std::string& path);
+
+/// Serialize every knob as "key = value" lines (parse round-trips).
+void write_system_config(const SystemConfig& cfg, std::ostream& out);
+
+}  // namespace tw::harness

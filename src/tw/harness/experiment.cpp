@@ -1,0 +1,52 @@
+#include "tw/harness/experiment.hpp"
+
+#include "tw/stats/registry.hpp"
+#include "tw/workload/generator.hpp"
+
+namespace tw::harness {
+
+RunMetrics run_system(const SystemConfig& cfg,
+                      const workload::WorkloadProfile& profile,
+                      schemes::SchemeKind kind) {
+  sim::Simulator sim;
+  stats::Registry reg;
+
+  const auto scheme = core::make_scheme(kind, cfg.pcm, cfg.tetris);
+  mem::Controller controller(sim, cfg.pcm, cfg.controller, *scheme, reg,
+                             cfg.seed, profile.initial_ones_fraction);
+  workload::TraceGenerator gen(profile, cfg.pcm.geometry, cfg.cores,
+                               cfg.seed * 0x9E3779B9u + 7);
+  cpu::MultiCore cpus(sim, cfg.core, cfg.cores, controller, gen,
+                      cfg.instructions_per_core);
+
+  cpus.start();
+  sim.run(cfg.max_sim_time);
+
+  RunMetrics m;
+  m.workload = profile.name;
+  m.scheme = std::string(scheme->name());
+  m.completed = cpus.all_finished();
+
+  m.read_latency_ns = reg.accumulator("mem.read_latency_ns").mean();
+  m.write_latency_ns = reg.accumulator("mem.write_latency_ns").mean();
+  m.write_service_ns = reg.accumulator("mem.write_service_ns").mean();
+  m.write_units = reg.accumulator("mem.write_units").mean();
+  m.read_p99_ns = reg.histogram("mem.read_latency_hist_ns").percentile(0.99);
+  m.write_p99_ns =
+      reg.histogram("mem.write_latency_hist_ns").percentile(0.99);
+  m.reads = reg.counter("mem.reads").value();
+  m.writes = reg.counter("mem.writes").value();
+  m.retired = cpus.total_retired();
+  m.ipc = cpus.aggregate_ipc();
+  m.runtime_ns = to_ns(cpus.runtime());
+  m.write_energy_pj = controller.energy().write_energy_pj();
+  m.read_energy_pj = controller.energy().read_energy_pj();
+  const pcm::WearSummary wear = controller.wear().summary();
+  m.bits_per_write = wear.avg_bits_per_write;
+  m.write_pauses = reg.counter("mem.write_pauses").value();
+  m.gap_moves = reg.counter("mem.gap_moves").value();
+  m.writes_batched = reg.counter("mem.writes_batched").value();
+  return m;
+}
+
+}  // namespace tw::harness

@@ -1,0 +1,59 @@
+#pragma once
+// Full-system experiment runner: builds simulator + scheme + controller +
+// cores + workload for one (workload, scheme) cell and runs it to
+// completion, returning the metrics the paper's figures are built from.
+
+#include <string>
+
+#include "tw/core/factory.hpp"
+#include "tw/cpu/multicore.hpp"
+#include "tw/mem/controller.hpp"
+#include "tw/workload/profiles.hpp"
+
+namespace tw::harness {
+
+/// Everything configurable about one simulation (Table II defaults).
+struct SystemConfig {
+  pcm::PcmConfig pcm;                  ///< device + geometry + power
+  mem::ControllerConfig controller;    ///< FRFCFS queues + drain policy
+  cpu::CoreConfig core;                ///< 2 GHz, peak IPC, MLP window
+  core::TetrisOptions tetris;          ///< analysis overhead etc.
+  u32 cores = 4;
+  u64 instructions_per_core = 200'000;
+  u64 seed = 42;
+  /// Safety cap on simulated time; a run that exceeds it is marked
+  /// incomplete rather than hanging.
+  Tick max_sim_time = ms(10'000);
+};
+
+/// Metrics of one completed run.
+struct RunMetrics {
+  std::string workload;
+  std::string scheme;
+  bool completed = false;
+
+  double read_latency_ns = 0.0;   ///< mean memory read latency
+  double write_latency_ns = 0.0;  ///< mean write latency (queue + service)
+  double write_service_ns = 0.0;  ///< mean write service time alone
+  double write_units = 0.0;       ///< mean serial write units per line
+  double ipc = 0.0;               ///< whole-system IPC
+  double runtime_ns = 0.0;        ///< time to retire all budgets
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 retired = 0;
+  double write_energy_pj = 0.0;
+  double read_energy_pj = 0.0;
+  double bits_per_write = 0.0;    ///< programmed bits per line write (wear)
+  double read_p99_ns = 0.0;
+  double write_p99_ns = 0.0;
+  u64 write_pauses = 0;   ///< write-pausing preemptions
+  u64 gap_moves = 0;      ///< Start-Gap migration writes
+  u64 writes_batched = 0; ///< writes serviced in multi-line batches
+};
+
+/// Run one cell. Deterministic in (cfg.seed, profile, kind).
+RunMetrics run_system(const SystemConfig& cfg,
+                      const workload::WorkloadProfile& profile,
+                      schemes::SchemeKind kind);
+
+}  // namespace tw::harness

@@ -1,0 +1,118 @@
+#include "tw/harness/figure.hpp"
+
+#include <cmath>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/csv.hpp"
+#include "tw/common/parallel.hpp"
+#include "tw/common/strings.hpp"
+
+namespace tw::harness {
+
+Matrix run_matrix(const SystemConfig& cfg,
+                  const std::vector<workload::WorkloadProfile>& workloads,
+                  const std::vector<schemes::SchemeKind>& kinds,
+                  std::size_t threads) {
+  Matrix m;
+  m.workloads = workloads;
+  m.kinds = kinds;
+  m.cells.assign(workloads.size(),
+                 std::vector<RunMetrics>(kinds.size()));
+
+  const std::size_t total = workloads.size() * kinds.size();
+  parallel_for(
+      total,
+      [&](std::size_t i) {
+        const std::size_t w = i / kinds.size();
+        const std::size_t s = i % kinds.size();
+        m.cells[w][s] = run_system(cfg, workloads[w], kinds[s]);
+      },
+      threads);
+  return m;
+}
+
+AsciiTable raw_table(const Matrix& m, const MetricFn& metric,
+                     int decimals) {
+  AsciiTable t;
+  std::vector<std::string> header = {"workload"};
+  for (const auto kind : m.kinds)
+    header.emplace_back(schemes::scheme_name(kind));
+  t.set_header(std::move(header));
+  for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+    std::vector<std::string> row = {m.workloads[w].name};
+    for (std::size_t s = 0; s < m.kinds.size(); ++s) {
+      row.push_back(fixed(metric(m.at(w, s)), decimals));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::vector<std::vector<double>> normalized_values(
+    const Matrix& m, const MetricFn& metric, std::size_t baseline_col) {
+  TW_EXPECTS(baseline_col < m.kinds.size());
+  std::vector<std::vector<double>> out;
+  std::vector<double> geo(m.kinds.size(), 0.0);
+  for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+    const double base = metric(m.at(w, baseline_col));
+    std::vector<double> row(m.kinds.size(), 0.0);
+    for (std::size_t s = 0; s < m.kinds.size(); ++s) {
+      const double v = metric(m.at(w, s));
+      row[s] = base == 0.0 ? 0.0 : v / base;
+      geo[s] += std::log(row[s] > 0.0 ? row[s] : 1e-12);
+    }
+    out.push_back(std::move(row));
+  }
+  for (auto& g : geo)
+    g = std::exp(g / static_cast<double>(m.workloads.size()));
+  out.push_back(std::move(geo));
+  return out;
+}
+
+AsciiTable normalized_table(const Matrix& m, const MetricFn& metric,
+                            std::size_t baseline_col, int decimals) {
+  const auto values = normalized_values(m, metric, baseline_col);
+  AsciiTable t;
+  std::vector<std::string> header = {"workload"};
+  for (const auto kind : m.kinds)
+    header.emplace_back(schemes::scheme_name(kind));
+  t.set_header(std::move(header));
+  for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+    std::vector<std::string> row = {m.workloads[w].name};
+    for (std::size_t s = 0; s < m.kinds.size(); ++s) {
+      row.push_back(fixed(values[w][s], decimals));
+    }
+    t.add_row(std::move(row));
+  }
+  t.add_separator();
+  std::vector<std::string> gm = {"geomean"};
+  for (std::size_t s = 0; s < m.kinds.size(); ++s) {
+    gm.push_back(fixed(values.back()[s], decimals));
+  }
+  t.add_row(std::move(gm));
+  return t;
+}
+
+void write_csv(const Matrix& m, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"workload", "scheme", "completed", "read_latency_ns",
+              "write_latency_ns", "write_service_ns", "write_units", "ipc",
+              "runtime_ns", "reads", "writes", "retired", "write_energy_pj",
+              "read_energy_pj", "bits_per_write", "read_p99_ns",
+              "write_p99_ns"});
+  for (std::size_t w = 0; w < m.workloads.size(); ++w) {
+    for (std::size_t s = 0; s < m.kinds.size(); ++s) {
+      const RunMetrics& r = m.at(w, s);
+      csv.row({r.workload, r.scheme, r.completed ? "1" : "0",
+               fixed(r.read_latency_ns, 2), fixed(r.write_latency_ns, 2),
+               fixed(r.write_service_ns, 2), fixed(r.write_units, 3),
+               fixed(r.ipc, 4), fixed(r.runtime_ns, 1),
+               std::to_string(r.reads), std::to_string(r.writes),
+               std::to_string(r.retired), fixed(r.write_energy_pj, 1),
+               fixed(r.read_energy_pj, 1), fixed(r.bits_per_write, 2),
+               fixed(r.read_p99_ns, 1), fixed(r.write_p99_ns, 1)});
+    }
+  }
+}
+
+}  // namespace tw::harness

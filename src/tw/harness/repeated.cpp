@@ -1,0 +1,64 @@
+#include "tw/harness/repeated.hpp"
+
+#include <cmath>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/parallel.hpp"
+
+namespace tw::harness {
+namespace {
+
+MetricSummary summarize(const std::vector<RunMetrics>& runs,
+                        double (*extract)(const RunMetrics&)) {
+  stats::Accumulator acc;
+  for (const auto& r : runs) acc.add(extract(r));
+  MetricSummary s;
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  if (acc.count() > 1) {
+    s.ci95 = 1.96 * acc.stddev() /
+             std::sqrt(static_cast<double>(acc.count()));
+  }
+  return s;
+}
+
+}  // namespace
+
+bool RepeatedMetrics::all_completed() const {
+  for (const auto& r : runs) {
+    if (!r.completed) return false;
+  }
+  return !runs.empty();
+}
+
+RepeatedMetrics run_repeated(const SystemConfig& cfg,
+                             const workload::WorkloadProfile& profile,
+                             schemes::SchemeKind kind, u32 repeats,
+                             std::size_t threads) {
+  TW_EXPECTS(repeats >= 1);
+  RepeatedMetrics out;
+  out.runs.resize(repeats);
+  parallel_for(
+      repeats,
+      [&](std::size_t i) {
+        SystemConfig c = cfg;
+        c.seed = cfg.seed + i;
+        out.runs[i] = run_system(c, profile, kind);
+      },
+      threads);
+
+  out.read_latency_ns = summarize(
+      out.runs, [](const RunMetrics& r) { return r.read_latency_ns; });
+  out.write_latency_ns = summarize(
+      out.runs, [](const RunMetrics& r) { return r.write_latency_ns; });
+  out.write_units = summarize(
+      out.runs, [](const RunMetrics& r) { return r.write_units; });
+  out.ipc = summarize(out.runs, [](const RunMetrics& r) { return r.ipc; });
+  out.runtime_ns = summarize(
+      out.runs, [](const RunMetrics& r) { return r.runtime_ns; });
+  return out;
+}
+
+}  // namespace tw::harness

@@ -1,0 +1,42 @@
+#pragma once
+// Multi-seed experiment repetition: run one (workload, scheme) cell under
+// several seeds and report per-metric mean / stddev / min / max — the
+// statistical footing for claiming a difference between schemes.
+
+#include <vector>
+
+#include "tw/harness/experiment.hpp"
+#include "tw/stats/accumulator.hpp"
+
+namespace tw::harness {
+
+/// Distribution summary of one metric across seeds.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  double ci95 = 0.0;
+};
+
+/// Aggregated repeated-run results.
+struct RepeatedMetrics {
+  std::vector<RunMetrics> runs;  ///< one per seed, in seed order
+  MetricSummary read_latency_ns;
+  MetricSummary write_latency_ns;
+  MetricSummary write_units;
+  MetricSummary ipc;
+  MetricSummary runtime_ns;
+
+  bool all_completed() const;
+};
+
+/// Run `repeats` seeds (cfg.seed, cfg.seed+1, ...) in parallel and
+/// summarize. Deterministic in (cfg, profile, kind, repeats).
+RepeatedMetrics run_repeated(const SystemConfig& cfg,
+                             const workload::WorkloadProfile& profile,
+                             schemes::SchemeKind kind, u32 repeats,
+                             std::size_t threads = 0);
+
+}  // namespace tw::harness

@@ -1,0 +1,79 @@
+#pragma once
+// Physical address decomposition: line-interleaved bank mapping
+// (consecutive cache lines hit consecutive banks, maximizing bank-level
+// parallelism for streaming writes — the standard NVMain default).
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::mem {
+
+/// Decoded location of a cache line.
+struct Location {
+  u32 rank = 0;
+  u32 bank = 0;
+  u32 subarray = 0;
+  u64 row = 0;
+};
+
+/// Line-interleaved address map over the configured geometry.
+class AddressMap {
+ public:
+  explicit AddressMap(const pcm::GeometryParams& g)
+      : line_bytes_(g.cache_line_bytes),
+        banks_(g.banks),
+        ranks_(g.ranks),
+        subarrays_(g.subarrays_per_bank),
+        line_shift_(log2_pow2(g.cache_line_bytes)) {
+    TW_EXPECTS(is_pow2(g.cache_line_bytes));
+    TW_EXPECTS(is_pow2(g.banks));
+    TW_EXPECTS(is_pow2(g.subarrays_per_bank));
+  }
+
+  /// Align an address down to its cache line.
+  Addr line_of(Addr a) const { return a & ~static_cast<Addr>(line_bytes_ - 1); }
+
+  /// Sequential line index of an address.
+  u64 line_index(Addr a) const { return a >> line_shift_; }
+
+  Location decode(Addr a) const {
+    const u64 li = line_index(a);
+    Location loc;
+    loc.bank = static_cast<u32>(li & (banks_ - 1));
+    const u64 above = li >> log2_pow2(banks_);
+    loc.rank = static_cast<u32>(above % ranks_);
+    loc.row = above / ranks_;
+    loc.subarray = static_cast<u32>(loc.row & (subarrays_ - 1));
+    return loc;
+  }
+
+  /// Total banks across all ranks (flat bank id = rank*banks + bank).
+  u32 total_banks() const { return banks_ * ranks_; }
+
+  /// Total subarrays across all banks and ranks.
+  u32 total_subarrays() const { return total_banks() * subarrays_; }
+
+  u32 flat_bank(Addr a) const {
+    const Location loc = decode(a);
+    return loc.rank * banks_ + loc.bank;
+  }
+
+  /// Flat subarray id: flat_bank * subarrays + subarray.
+  u32 flat_subarray(Addr a) const {
+    const Location loc = decode(a);
+    return (loc.rank * banks_ + loc.bank) * subarrays_ + loc.subarray;
+  }
+
+  u32 subarrays_per_bank() const { return subarrays_; }
+  u32 line_bytes() const { return line_bytes_; }
+
+ private:
+  u32 line_bytes_;
+  u32 banks_;
+  u32 ranks_;
+  u32 subarrays_;
+  u32 line_shift_;
+};
+
+}  // namespace tw::mem

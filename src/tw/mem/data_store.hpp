@@ -1,0 +1,52 @@
+#pragma once
+// Sparse physical content store for the PCM main memory.
+//
+// Holds the *physical* line state (cell words + flip tags) for every line
+// ever touched. Untouched lines are materialized on first access with
+// deterministic pseudo-random content derived from (seed, line address),
+// so simulations are reproducible regardless of access order.
+
+#include <unordered_map>
+
+#include "tw/common/rng.hpp"
+#include "tw/common/types.hpp"
+#include "tw/pcm/line.hpp"
+
+namespace tw::mem {
+
+/// Sparse map from line address to physical line state.
+class DataStore {
+ public:
+  /// `units_per_line`: data units per cache line; `seed` drives the
+  /// deterministic first-touch content; `ones_bias` is the probability
+  /// that a first-touch cell holds '1' (SET-dominant workloads start
+  /// zero-rich, see WorkloadProfile::initial_ones_fraction).
+  DataStore(u32 units_per_line, u64 seed, double ones_bias = 0.5)
+      : units_(units_per_line), seed_(seed), ones_bias_(ones_bias) {}
+
+  /// Mutable physical state of a line (materialized on first touch).
+  pcm::LineBuf& line(Addr line_addr);
+
+  /// Read-only logical view of a line (materializes on first touch).
+  pcm::LogicalLine read_logical(Addr line_addr) {
+    return pcm::LogicalLine::from_physical(line(line_addr));
+  }
+
+  /// True if the line has been materialized.
+  bool touched(Addr line_addr) const {
+    return lines_.find(line_addr) != lines_.end();
+  }
+
+  std::size_t lines_touched() const { return lines_.size(); }
+  u32 units_per_line() const { return units_; }
+
+ private:
+  pcm::LineBuf materialize(Addr line_addr) const;
+
+  u32 units_;
+  u64 seed_;
+  double ones_bias_;
+  std::unordered_map<Addr, pcm::LineBuf> lines_;
+};
+
+}  // namespace tw::mem

@@ -1,0 +1,26 @@
+#pragma once
+// Memory request type exchanged between the CPU model and the controller.
+
+#include "tw/common/types.hpp"
+#include "tw/pcm/line.hpp"
+
+namespace tw::mem {
+
+/// Request kind.
+enum class ReqType : u8 { kRead, kWrite };
+
+/// One cache-line request to PCM main memory.
+struct MemoryRequest {
+  u64 id = 0;          ///< unique per controller, assigned at enqueue
+  Addr addr = 0;       ///< line-aligned physical address
+  ReqType type = ReqType::kRead;
+  u32 core = 0;        ///< issuing core (for per-core stats)
+  Tick enqueue_tick = 0;   ///< when the controller accepted it
+  Tick start_tick = 0;     ///< when service began
+  Tick complete_tick = 0;  ///< when service finished
+  pcm::LogicalLine data;   ///< payload for writes (units() == 0 for reads)
+
+  bool is_write() const { return type == ReqType::kWrite; }
+};
+
+}  // namespace tw::mem

@@ -1,0 +1,61 @@
+#include "tw/mem/start_gap.hpp"
+
+#include "tw/common/rng.hpp"
+
+namespace tw::mem {
+
+StartGapLeveler::StartGapLeveler(StartGapConfig cfg)
+    : cfg_(cfg), gap_(cfg.region_lines) {
+  TW_EXPECTS(cfg.valid());
+  if (cfg_.randomize) {
+    // The Feistel randomizer needs a power-of-two region to be bijective.
+    TW_EXPECTS(is_pow2(cfg_.region_lines));
+  }
+}
+
+u64 StartGapLeveler::randomize(u64 line) const {
+  if (!cfg_.randomize) return line;
+  // Static bijection over [0, 2^k): two rounds of multiply-by-odd and
+  // key XOR (both invertible modulo 2^k). Spreads spatially-adjacent hot
+  // lines across the region — the role of the paper's address-space
+  // randomization in front of Start-Gap.
+  const u64 mask = cfg_.region_lines - 1;
+  u64 v = line;
+  v = (v * 0x9E3779B97F4A7C15ull) & mask;  // odd multiplier: bijective
+  v ^= cfg_.key & mask;
+  v = (v * 0xC2B2AE3D27D4EB4Full) & mask;
+  v ^= (cfg_.key >> 17) & mask;
+  return v;
+}
+
+u64 StartGapLeveler::map(u64 logical_line) const {
+  TW_EXPECTS(logical_line < cfg_.region_lines);
+  const u64 n = cfg_.region_lines;
+  const u64 randomized = randomize(logical_line);
+  const u64 pa = (randomized + start_) % n;
+  return pa >= gap_ ? pa + 1 : pa;
+}
+
+std::optional<GapMove> StartGapLeveler::on_write() {
+  ++writes_;
+  if (writes_ % cfg_.gap_write_interval != 0) return std::nullopt;
+
+  GapMove move;
+  const u64 n = cfg_.region_lines;
+  if (gap_ > 0) {
+    move.from_physical = gap_ - 1;
+    move.to_physical = gap_;
+    --gap_;
+  } else {
+    // Wrap: the line in the last slot rotates to slot 0; one full cycle
+    // completes and the start register advances.
+    move.from_physical = n;
+    move.to_physical = 0;
+    gap_ = n;
+    start_ = (start_ + 1) % n;
+  }
+  ++moves_;
+  return move;
+}
+
+}  // namespace tw::mem

@@ -1,0 +1,71 @@
+#pragma once
+// Start-Gap wear leveling (Qureshi et al., MICRO'09 — the paper's
+// reference [5]). PCM cells endure ~10^8 writes; without leveling a hot
+// line kills its cells orders of magnitude before the rest of the device.
+//
+// Start-Gap keeps one spare line per region and two registers:
+//   GAP   — the physical slot currently left empty,
+//   START — the rotation offset accumulated over whole gap cycles.
+// Every `gap_write_interval` writes the gap moves down by one slot (the
+// neighbouring line is copied into the empty slot), so over time every
+// logical line visits every physical slot. A Feistel-network address
+// randomizer (static key) decorrelates spatially-local hot lines first,
+// as the paper's region-based variants do.
+
+#include <optional>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::mem {
+
+/// Configuration of one Start-Gap region.
+struct StartGapConfig {
+  u64 region_lines = 1 << 16;   ///< logical lines per region
+  u32 gap_write_interval = 100; ///< writes between gap movements (psi)
+  bool randomize = true;        ///< Feistel address randomization
+  u64 key = 0x5DEECE66D;        ///< randomizer key
+
+  bool valid() const {
+    return region_lines >= 2 && gap_write_interval >= 1 &&
+           (region_lines & 1) == 0;  // Feistel wants an even split
+  }
+};
+
+/// A gap movement the caller must perform: copy the content of
+/// `from_physical` into `to_physical` (the previously empty slot).
+struct GapMove {
+  u64 from_physical = 0;
+  u64 to_physical = 0;
+};
+
+/// Start-Gap mapping for one region of lines. Thread-compatible.
+class StartGapLeveler {
+ public:
+  explicit StartGapLeveler(StartGapConfig cfg);
+
+  /// Map a logical line index (0..region_lines-1) to its physical slot
+  /// (0..region_lines; one extra slot holds the gap).
+  u64 map(u64 logical_line) const;
+
+  /// Record one demand write. Returns a GapMove when the write triggers
+  /// gap movement; the caller copies that line, then mapping reflects the
+  /// new gap position (this call already updated it).
+  std::optional<GapMove> on_write();
+
+  u64 gap() const { return gap_; }
+  u64 start() const { return start_; }
+  u64 gap_moves() const { return moves_; }
+  const StartGapConfig& config() const { return cfg_; }
+
+ private:
+  u64 randomize(u64 line) const;
+
+  StartGapConfig cfg_;
+  u64 gap_;        ///< physical slot currently empty (0..region_lines)
+  u64 start_ = 0;  ///< rotation offset (whole cycles)
+  u64 writes_ = 0;
+  u64 moves_ = 0;
+};
+
+}  // namespace tw::mem

@@ -1,0 +1,69 @@
+#include "tw/pcm/array.hpp"
+
+#include <algorithm>
+
+#include "tw/common/assert.hpp"
+
+namespace tw::pcm {
+
+PcmArray::PcmArray(u64 bits, u64 endurance_limit)
+    : value_(bits, false), pulses_(bits, 0), endurance_(endurance_limit) {
+  TW_EXPECTS(bits > 0);
+}
+
+bool PcmArray::read(u64 bit) const {
+  TW_EXPECTS(bit < size_bits());
+  return value_[bit];
+}
+
+u64 PcmArray::read_word(u64 bit, u32 count) const {
+  TW_EXPECTS(count <= 64);
+  TW_EXPECTS(bit + count <= size_bits());
+  u64 w = 0;
+  for (u32 i = 0; i < count; ++i) {
+    if (value_[bit + i]) w |= (u64{1} << i);
+  }
+  return w;
+}
+
+ProgramResult PcmArray::program(u64 bit, bool value) {
+  TW_EXPECTS(bit < size_bits());
+  if (endurance_ != 0 && pulses_[bit] >= endurance_) {
+    return ProgramResult::kWornOut;
+  }
+  ++pulses_[bit];
+  ++total_pulses_;
+  if (endurance_ != 0 && pulses_[bit] == endurance_) ++worn_out_;
+  const bool same = value_[bit] == value;
+  value_[bit] = value;
+  return same ? ProgramResult::kRedundant : ProgramResult::kOk;
+}
+
+BitTransitions PcmArray::program_word_dcw(u64 bit, u64 value, u32 count) {
+  TW_EXPECTS(count <= 64);
+  TW_EXPECTS(bit + count <= size_bits());
+  BitTransitions t;
+  for (u32 i = 0; i < count; ++i) {
+    const bool want = ((value >> i) & 1u) != 0;
+    const bool have = value_[bit + i];
+    if (want == have) continue;
+    if (program(bit + i, want) == ProgramResult::kWornOut) continue;
+    if (want) {
+      ++t.sets;
+    } else {
+      ++t.resets;
+    }
+  }
+  return t;
+}
+
+u64 PcmArray::wear(u64 bit) const {
+  TW_EXPECTS(bit < size_bits());
+  return pulses_[bit];
+}
+
+u64 PcmArray::max_wear() const {
+  return pulses_.empty() ? 0 : *std::max_element(pulses_.begin(), pulses_.end());
+}
+
+}  // namespace tw::pcm

@@ -1,0 +1,68 @@
+#pragma once
+// A small bit-addressable PCM cell array with per-cell endurance counting.
+//
+// This models the physical array a write driver programs: each program
+// pulse targets individual cells (SET or RESET), and cells fail after an
+// endurance limit. Used by write-driver tests and the wear-analysis
+// example; the full-system simulator tracks content at line granularity
+// (tw::mem::DataStore) for scale.
+
+#include <vector>
+
+#include "tw/common/bits.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::pcm {
+
+/// Result of a program pulse on one cell.
+enum class ProgramResult : u8 {
+  kOk,          ///< cell updated
+  kRedundant,   ///< cell already held the value (pulse still wears it)
+  kWornOut,     ///< endurance exceeded; cell is stuck
+};
+
+/// Dense array of SLC PCM cells with endurance accounting.
+class PcmArray {
+ public:
+  /// Create `bits` cells, all RESET ('0'), with the given endurance limit
+  /// (0 = unlimited).
+  explicit PcmArray(u64 bits, u64 endurance_limit = 0);
+
+  u64 size_bits() const { return static_cast<u64>(value_.size()); }
+
+  /// Read one cell. Reads do not wear cells.
+  bool read(u64 bit) const;
+
+  /// Read `count` cells starting at `bit` into a word (LSB-first).
+  u64 read_word(u64 bit, u32 count) const;
+
+  /// Apply one program pulse writing `value` to the cell. Wear increments
+  /// whether or not the value changes (a pulse is a pulse). Worn-out cells
+  /// retain their last value.
+  ProgramResult program(u64 bit, bool value);
+
+  /// Program only the bits of `value` that differ from array content
+  /// (data-comparison write), LSB-first over `count` bits.
+  /// Returns the transitions actually performed.
+  BitTransitions program_word_dcw(u64 bit, u64 value, u32 count);
+
+  /// Per-cell program-pulse count.
+  u64 wear(u64 bit) const;
+
+  /// Highest program count across all cells.
+  u64 max_wear() const;
+
+  /// Number of cells that exceeded the endurance limit.
+  u64 worn_out_cells() const { return worn_out_; }
+
+  u64 total_pulses() const { return total_pulses_; }
+
+ private:
+  std::vector<bool> value_;
+  std::vector<u64> pulses_;
+  u64 endurance_;
+  u64 worn_out_ = 0;
+  u64 total_pulses_ = 0;
+};
+
+}  // namespace tw::pcm

@@ -1,0 +1,52 @@
+#pragma once
+// Bank-level occupancy model: a bank services one command at a time and is
+// busy until the command's service time elapses. (PCM has no destructive
+// row buffer to manage; reads are fixed-latency and writes take the active
+// write scheme's computed service time.)
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::pcm {
+
+/// One PCM bank's timing state.
+class PcmBank {
+ public:
+  /// True if the bank can accept a command at `now`.
+  bool idle_at(Tick now) const { return now >= busy_until_; }
+
+  /// Earliest tick the bank becomes free.
+  Tick free_at() const { return busy_until_; }
+
+  /// Occupy the bank from `start` for `duration`. `start` must not precede
+  /// the bank becoming free.
+  void occupy(Tick start, Tick duration) {
+    TW_EXPECTS(start >= busy_until_);
+    busy_until_ = start + duration;
+    busy_total_ += duration;
+    ++commands_;
+  }
+
+  /// Cut the current occupancy short at `at` (write pausing): the bank
+  /// becomes free at `at` instead of its scheduled end. `at` must not be
+  /// later than the current busy-until.
+  void preempt(Tick at) {
+    TW_EXPECTS(at <= busy_until_);
+    busy_total_ -= busy_until_ - at;
+    busy_until_ = at;
+    ++preemptions_;
+  }
+
+  /// Total ticks the bank spent busy.
+  Tick busy_total() const { return busy_total_; }
+  u64 commands() const { return commands_; }
+  u64 preemptions() const { return preemptions_; }
+
+ private:
+  Tick busy_until_ = 0;
+  Tick busy_total_ = 0;
+  u64 commands_ = 0;
+  u64 preemptions_ = 0;
+};
+
+}  // namespace tw::pcm

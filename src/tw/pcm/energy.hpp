@@ -1,0 +1,46 @@
+#pragma once
+// Energy accounting for PCM operations.
+
+#include "tw/common/bits.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::pcm {
+
+/// Accumulates programming/read energy in picojoules.
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
+
+  /// Account for a write that performed the given bit transitions.
+  void add_write(const BitTransitions& t) {
+    write_pj_ += static_cast<double>(t.sets) * params_.set_pj +
+                 static_cast<double>(t.resets) * params_.reset_pj;
+    set_bits_ += t.sets;
+    reset_bits_ += t.resets;
+  }
+
+  /// Account for reading `bits` cells (read-before-write or a demand read).
+  void add_read(u64 bits) {
+    read_pj_ += static_cast<double>(bits) * params_.read_bit_pj;
+    read_bits_ += bits;
+  }
+
+  double write_energy_pj() const { return write_pj_; }
+  double read_energy_pj() const { return read_pj_; }
+  double total_pj() const { return write_pj_ + read_pj_; }
+  u64 set_bits() const { return set_bits_; }
+  u64 reset_bits() const { return reset_bits_; }
+  u64 read_bits() const { return read_bits_; }
+
+  void reset() { *this = EnergyModel(params_); }
+
+ private:
+  EnergyParams params_;
+  double write_pj_ = 0.0;
+  double read_pj_ = 0.0;
+  u64 set_bits_ = 0;
+  u64 reset_bits_ = 0;
+  u64 read_bits_ = 0;
+};
+
+}  // namespace tw::pcm

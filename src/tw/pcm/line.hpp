@@ -1,0 +1,122 @@
+#pragma once
+// Physical cache-line state as stored in the PCM array: per-data-unit cell
+// words plus the Flip-N-Write flip tag. Fixed inline capacity avoids heap
+// traffic in the simulator's hot path (max 32 units = 256 B lines).
+
+#include <array>
+#include <span>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/bits.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::pcm {
+
+/// Maximum data units per cache line supported inline (256 B / 64-bit).
+inline constexpr u32 kMaxUnitsPerLine = 32;
+
+/// Physical line content: `units` 64-bit cell words + one flip bit each.
+/// The *logical* value of unit i is `flip[i] ? ~cells[i] : cells[i]`.
+class LineBuf {
+ public:
+  LineBuf() = default;
+
+  /// A line of `units` data units, cells zeroed, flags clear.
+  explicit LineBuf(u32 units) : units_(units) {
+    TW_EXPECTS(units >= 1 && units <= kMaxUnitsPerLine);
+    cells_.fill(0);
+    flip_.fill(false);
+  }
+
+  u32 units() const { return units_; }
+
+  u64 cell(u32 i) const {
+    TW_EXPECTS(i < units_);
+    return cells_[i];
+  }
+  void set_cell(u32 i, u64 v) {
+    TW_EXPECTS(i < units_);
+    cells_[i] = v;
+  }
+
+  bool flip(u32 i) const {
+    TW_EXPECTS(i < units_);
+    return flip_[i];
+  }
+  void set_flip(u32 i, bool f) {
+    TW_EXPECTS(i < units_);
+    flip_[i] = f;
+  }
+
+  /// Logical (post-inversion) value of unit i.
+  u64 logical(u32 i) const {
+    TW_EXPECTS(i < units_);
+    return flip_[i] ? ~cells_[i] : cells_[i];
+  }
+
+  /// Write the logical value of unit i given an explicit flip decision.
+  void store_logical(u32 i, u64 logical_value, bool flipped) {
+    TW_EXPECTS(i < units_);
+    cells_[i] = flipped ? ~logical_value : logical_value;
+    flip_[i] = flipped;
+  }
+
+  std::span<const u64> cell_words() const {
+    return {cells_.data(), units_};
+  }
+
+  bool operator==(const LineBuf& o) const {
+    if (units_ != o.units_) return false;
+    for (u32 i = 0; i < units_; ++i) {
+      if (cells_[i] != o.cells_[i] || flip_[i] != o.flip_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<u64, kMaxUnitsPerLine> cells_{};
+  std::array<bool, kMaxUnitsPerLine> flip_{};
+  u32 units_ = 0;
+};
+
+/// A logical (already de-inverted) line value, as the CPU sees it.
+class LogicalLine {
+ public:
+  LogicalLine() = default;
+  explicit LogicalLine(u32 units) : units_(units) {
+    TW_EXPECTS(units >= 1 && units <= kMaxUnitsPerLine);
+    words_.fill(0);
+  }
+
+  /// Reconstruct the logical view of a physical line.
+  static LogicalLine from_physical(const LineBuf& phys) {
+    LogicalLine l(phys.units());
+    for (u32 i = 0; i < phys.units(); ++i) l.words_[i] = phys.logical(i);
+    return l;
+  }
+
+  u32 units() const { return units_; }
+  u64 word(u32 i) const {
+    TW_EXPECTS(i < units_);
+    return words_[i];
+  }
+  void set_word(u32 i, u64 v) {
+    TW_EXPECTS(i < units_);
+    words_[i] = v;
+  }
+  std::span<const u64> words() const { return {words_.data(), units_}; }
+  std::span<u64> words_mut() { return {words_.data(), units_}; }
+
+  bool operator==(const LogicalLine& o) const {
+    if (units_ != o.units_) return false;
+    for (u32 i = 0; i < units_; ++i)
+      if (words_[i] != o.words_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<u64, kMaxUnitsPerLine> words_{};
+  u32 units_ = 0;
+};
+
+}  // namespace tw::pcm

@@ -1,0 +1,62 @@
+#include "tw/pcm/mlc.hpp"
+
+#include <algorithm>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/bits.hpp"
+
+namespace tw::pcm {
+
+u32 mlc_level(bool msb, bool lsb) {
+  // Gray code: 00 -> 0, 01 -> 1, 11 -> 2, 10 -> 3.
+  if (!msb) return lsb ? 1u : 0u;
+  return lsb ? 2u : 3u;
+}
+
+std::array<u8, 32> mlc_levels(u64 word) {
+  std::array<u8, 32> levels{};
+  for (u32 c = 0; c < 32; ++c) {
+    const bool lsb = get_bit(word, 2 * c);
+    const bool msb = get_bit(word, 2 * c + 1);
+    levels[c] = static_cast<u8>(mlc_level(msb, lsb));
+  }
+  return levels;
+}
+
+MlcWriteCost mlc_write_cost(u64 old_word, u64 next, const MlcParams& p) {
+  const auto before = mlc_levels(old_word);
+  const auto after = mlc_levels(next);
+  MlcWriteCost cost;
+  Tick slowest = 0;
+  for (u32 c = 0; c < 32; ++c) {
+    if (before[c] == after[c]) continue;
+    ++cost.cells_changed;
+    const u32 iters = p.program_iterations[after[c]];
+    cost.total_iterations += iters;
+    cost.peak_current += p.level_current[after[c]];
+    slowest = std::max(slowest,
+                       static_cast<Tick>(iters) *
+                           (p.iteration_pulse + p.verify_read));
+  }
+  cost.program_time = slowest;
+  return cost;
+}
+
+PcmConfig mlc_effective_config(const PcmConfig& slc, const MlcParams& p) {
+  TW_EXPECTS(p.iteration_pulse > 0);
+  PcmConfig mlc = slc;
+  // Writes: the SET-role time becomes the slowest P&V train; the
+  // RESET-role time is the single strong pulse of level 0.
+  mlc.timing.t_set = p.worst_cell_time();
+  mlc.timing.t_reset =
+      p.program_iterations[0] * (p.iteration_pulse + p.verify_read);
+  // A strong RESET pulse still draws L x the partial-pulse current.
+  mlc.power.reset_current_ratio_l =
+      std::max<u32>(1, p.level_current[0] / std::max<u32>(
+                                                1, p.level_current[3]));
+  // Capacity doubles per cell; geometry (interface width) is unchanged.
+  mlc.validate();
+  return mlc;
+}
+
+}  // namespace tw::pcm

@@ -1,0 +1,63 @@
+#pragma once
+// Multi-Level-Cell PCM model (2 bits/cell). The paper focuses on SLC "for
+// its better write performance" (Section II); this module quantifies that
+// choice: MLC programs intermediate resistance levels with iterative
+// program-and-verify (P&V) pulses, so writes are slower and the power
+// budget is consumed by verify-bounded pulse trains (FPB, the paper's
+// ref [16], budgets exactly these).
+//
+// Encoding: a 64-bit data word occupies 32 cells; bit pairs map to the
+// four levels through Gray coding so a single-bit data change moves at
+// most one level step.
+
+#include <array>
+
+#include "tw/common/types.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::pcm {
+
+/// MLC device parameters.
+struct MlcParams {
+  /// Average P&V iterations to settle each target level. Level 0 is full
+  /// RESET (single strong pulse), level 3 full SET (slow crystallizing
+  /// pulse), levels 1-2 are partial states needing tight verify loops.
+  std::array<u32, 4> program_iterations{1, 6, 5, 2};
+  Tick iteration_pulse = ns(53);  ///< one partial program pulse
+  Tick verify_read = ns(25);     ///< verify sensing after each pulse
+  /// Pulse current per level, in SET-current units per cell.
+  std::array<u32, 4> level_current{2, 1, 1, 1};
+
+  /// Worst-case per-cell program time (the slowest level).
+  Tick worst_cell_time() const {
+    u32 it = 0;
+    for (const u32 i : program_iterations) it = std::max(it, i);
+    return it * (iteration_pulse + verify_read);
+  }
+};
+
+/// Gray-coded level of a 2-bit pair (msb, lsb): 00->0, 01->1, 11->2,
+/// 10->3.
+u32 mlc_level(bool msb, bool lsb);
+
+/// Per-cell levels of a 64-bit word (32 cells; cell c holds bits
+/// 2c+1:2c).
+std::array<u8, 32> mlc_levels(u64 word);
+
+/// Cost of writing `next` over `old_word` in MLC encoding.
+struct MlcWriteCost {
+  u32 cells_changed = 0;    ///< cells whose level must move
+  u32 total_iterations = 0; ///< sum of P&V iterations (energy proxy)
+  Tick program_time = 0;    ///< parallel completion: slowest changed cell
+  u32 peak_current = 0;     ///< sum of changed cells' pulse currents
+};
+
+MlcWriteCost mlc_write_cost(u64 old_word, u64 next, const MlcParams& p);
+
+/// Derive an effective device config for an MLC part: same geometry and
+/// read path, write timing replaced by the worst-case P&V train. The
+/// resulting config drives the existing write schemes, giving the
+/// SLC-vs-MLC comparison of ablation_mlc.
+PcmConfig mlc_effective_config(const PcmConfig& slc, const MlcParams& p);
+
+}  // namespace tw::pcm

@@ -1,0 +1,31 @@
+#include "tw/pcm/params.hpp"
+
+#include "tw/common/strings.hpp"
+
+namespace tw::pcm {
+
+void PcmConfig::validate() const {
+  if (!timing.valid()) TW_FAIL("invalid PCM timing parameters");
+  if (!power.valid()) TW_FAIL("invalid PCM power parameters");
+  if (!geometry.valid()) TW_FAIL("invalid PCM geometry parameters");
+  if (!energy.valid()) TW_FAIL("invalid PCM energy parameters");
+}
+
+std::string PcmConfig::describe() const {
+  return std::to_string(geometry.chips_per_bank) + "xX" +
+         std::to_string(geometry.chip_write_bits) + " chips/bank, " +
+         std::to_string(geometry.banks) + " banks, line=" +
+         std::to_string(geometry.cache_line_bytes) + "B, Tread=" +
+         fixed(to_ns(timing.t_read), 0) + "ns Treset=" +
+         fixed(to_ns(timing.t_reset), 0) + "ns Tset=" +
+         fixed(to_ns(timing.t_set), 0) + "ns, K=" + std::to_string(k()) +
+         " L=" + std::to_string(l()) +
+         " budget=" + std::to_string(bank_power_budget()) + " (" +
+         (power.global_charge_pump ? "GCP" : "per-chip") + ")";
+}
+
+PcmConfig table2_config() {
+  return PcmConfig{};  // defaults encode Table II
+}
+
+}  // namespace tw::pcm

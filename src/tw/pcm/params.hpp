@@ -1,0 +1,117 @@
+#pragma once
+// PCM device parameters (Table II of the paper) and derived asymmetry
+// constants. All defaults reproduce the paper's Samsung-prototype setup:
+//
+//   READ 50 ns, RESET 53 ns, SET 430 ns, Creset = 2 x Cset,
+//   4 x X16 chips per bank, 8 B write unit per bank, 64 B cache line,
+//   8 banks, single rank, global charge pump (GCP) current sharing.
+
+#include <string>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::pcm {
+
+/// Device timing parameters.
+struct TimingParams {
+  Tick t_read = ns(50);    ///< array read latency
+  Tick t_reset = ns(53);   ///< RESET (write '0') pulse width
+  Tick t_set = ns(430);    ///< SET (write '1') pulse width
+
+  /// Time-asymmetry ratio K = Tset/Treset rounded to an integer number of
+  /// sub-write-units (the paper uses K = 8 for 430/53).
+  u32 time_ratio_k() const {
+    TW_EXPECTS(t_reset > 0);
+    const u64 k = (t_set + t_reset / 2) / t_reset;
+    return static_cast<u32>(k == 0 ? 1 : k);
+  }
+
+  bool valid() const { return t_reset > 0 && t_set >= t_reset; }
+};
+
+/// Current / power-budget parameters, expressed in units of SET current
+/// (1 "current unit" = the current of one concurrent SET bit-write).
+struct PowerParams {
+  u32 reset_current_ratio_l = 2;   ///< Creset / Cset (the paper's L)
+  u32 chip_budget = 32;            ///< concurrent SET-equivalents per chip
+  bool global_charge_pump = true;  ///< GCP: chips share current in a bank
+
+  bool valid() const { return reset_current_ratio_l >= 1 && chip_budget > 0; }
+};
+
+/// Memory organization (bank-level geometry).
+struct GeometryParams {
+  u32 chips_per_bank = 4;       ///< X16 chips forming one 64-bit bank
+  u32 chip_write_bits = 16;     ///< write-unit width per chip (X16)
+  u32 data_unit_bits = 64;      ///< the paper's "data unit" (one bank word)
+  u32 cache_line_bytes = 64;    ///< last-level cache line size
+  u32 banks = 8;                ///< banks per rank
+  u32 ranks = 1;
+  /// Subarrays per bank (paper refs [13][15]): reads may proceed in one
+  /// subarray while another subarray of the same bank is being written
+  /// (read current is tiny); writes still serialize on the bank's charge
+  /// pump. 1 = the paper's baseline organization.
+  u32 subarrays_per_bank = 1;
+  u64 capacity_bytes = u64{4} * 1024 * 1024 * 1024;  ///< 4 GB SLC PCM
+
+  /// Data units per cache line (8 for 64 B lines with 64-bit units).
+  u32 units_per_line() const {
+    return cache_line_bytes * 8 / data_unit_bits;
+  }
+
+  /// Write-unit width per bank in bits (chips x per-chip width).
+  u32 bank_write_bits() const { return chips_per_bank * chip_write_bits; }
+
+  bool valid() const {
+    return chips_per_bank > 0 && chip_write_bits > 0 &&
+           data_unit_bits > 0 && data_unit_bits <= 64 &&
+           is_pow2(data_unit_bits) && cache_line_bytes >= 8 &&
+           (cache_line_bytes * 8) % data_unit_bits == 0 && banks > 0 &&
+           is_pow2(banks) && ranks > 0 && subarrays_per_bank > 0 &&
+           is_pow2(subarrays_per_bank);
+  }
+};
+
+/// Per-bit programming energy (picojoules). Values follow the commonly
+/// cited SLC PCM ballpark (RESET pulses are shorter but draw double
+/// current; SET pulses are long and low-current).
+struct EnergyParams {
+  double set_pj = 13.5;     ///< energy per SET bit-write
+  double reset_pj = 19.2;   ///< energy per RESET bit-write
+  double read_bit_pj = 0.4; ///< energy per bit read
+
+  bool valid() const { return set_pj > 0 && reset_pj > 0 && read_bit_pj >= 0; }
+};
+
+/// Full PCM configuration bundle.
+struct PcmConfig {
+  TimingParams timing;
+  PowerParams power;
+  GeometryParams geometry;
+  EnergyParams energy;
+
+  /// Effective power budget available to one bank write, in SET-current
+  /// units: with GCP chips pool their budgets (paper: 128 per bank);
+  /// without GCP each chip is limited locally, and since the schemes treat
+  /// a data unit as an indivisible bank word, the usable bank budget is
+  /// chips x chip_budget as well but enforcement is per-chip (see schemes).
+  u32 bank_power_budget() const {
+    return power.chip_budget * geometry.chips_per_bank;
+  }
+
+  /// The paper's K: number of RESET-length sub-write-units per write unit.
+  u32 k() const { return timing.time_ratio_k(); }
+  /// The paper's L: RESET/SET current ratio.
+  u32 l() const { return power.reset_current_ratio_l; }
+
+  void validate() const;
+
+  /// Human-readable one-line description for reports.
+  std::string describe() const;
+};
+
+/// The paper's Table II configuration (also the default-constructed state).
+PcmConfig table2_config();
+
+}  // namespace tw::pcm

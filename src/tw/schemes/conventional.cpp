@@ -1,0 +1,22 @@
+#include "tw/schemes/conventional.hpp"
+
+#include "tw/schemes/prep.hpp"
+
+namespace tw::schemes {
+
+ServicePlan ConventionalWrite::plan_write(
+    pcm::LineBuf& line, const pcm::LogicalLine& next) const {
+  const auto& g = cfg_.geometry;
+  const auto plans =
+      plan_line(line, next, FlipCriterion::kNone, g.data_unit_bits);
+
+  ServicePlan s;
+  s.write_units = static_cast<double>(g.units_per_line());
+  s.latency = g.units_per_line() * cfg_.timing.t_set;
+  s.programmed = total_all_bits(plans);  // every cell pulsed
+  s.read_before_write = false;
+  apply_plans(line, plans);
+  return s;
+}
+
+}  // namespace tw::schemes

@@ -1,0 +1,20 @@
+#pragma once
+// Conventional write (Eq. 1): each data unit takes a full write unit at
+// worst-case timing (Tset) with no read-before-write; every cell is pulsed.
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class ConventionalWrite final : public WriteScheme {
+ public:
+  using WriteScheme::WriteScheme;
+
+  std::string_view name() const override { return "conventional"; }
+  SchemeKind kind() const override { return SchemeKind::kConventional; }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+};
+
+}  // namespace tw::schemes

@@ -1,0 +1,23 @@
+#include "tw/schemes/dcw.hpp"
+
+#include "tw/schemes/prep.hpp"
+
+namespace tw::schemes {
+
+ServicePlan DcwWrite::plan_write(pcm::LineBuf& line,
+                                 const pcm::LogicalLine& next) const {
+  const auto& g = cfg_.geometry;
+  const auto plans =
+      plan_line(line, next, FlipCriterion::kNone, g.data_unit_bits);
+
+  ServicePlan s;
+  s.write_units = static_cast<double>(g.units_per_line());
+  s.latency = cfg_.timing.t_read + g.units_per_line() * cfg_.timing.t_set;
+  s.programmed = total_transitions(plans);
+  s.read_before_write = true;
+  s.silent = s.programmed.total() == 0;
+  apply_plans(line, plans);
+  return s;
+}
+
+}  // namespace tw::schemes

@@ -1,0 +1,22 @@
+#pragma once
+// Data-Comparison Write (Yang et al., ISCAS'07) — the paper's baseline.
+// Reads the old data first and pulses only changed cells (energy/endurance
+// win) but keeps the conventional worst-case serial timing: one full-Tset
+// write unit per data unit.
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class DcwWrite final : public WriteScheme {
+ public:
+  using WriteScheme::WriteScheme;
+
+  std::string_view name() const override { return "dcw"; }
+  SchemeKind kind() const override { return SchemeKind::kDcw; }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+};
+
+}  // namespace tw::schemes

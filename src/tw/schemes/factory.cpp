@@ -1,0 +1,50 @@
+#include "tw/schemes/write_scheme.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::schemes {
+
+BatchServicePlan WriteScheme::plan_write_batch(
+    std::span<pcm::LineBuf*> lines,
+    std::span<const pcm::LogicalLine> datas) const {
+  TW_EXPECTS(lines.size() == datas.size());
+  TW_EXPECTS(!lines.empty());
+  BatchServicePlan batch;
+  batch.per_line.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ServicePlan p = plan_write(*lines[i], datas[i]);
+    batch.latency += p.latency;
+    batch.per_line.push_back(std::move(p));
+  }
+  return batch;
+}
+
+std::string_view scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kConventional:
+      return "conventional";
+    case SchemeKind::kDcw:
+      return "dcw";
+    case SchemeKind::kFlipNWrite:
+      return "fnw";
+    case SchemeKind::kTwoStage:
+      return "2stage";
+    case SchemeKind::kThreeStage:
+      return "3stage";
+    case SchemeKind::kTetris:
+      return "tetris";
+    case SchemeKind::kFlipNWriteActual:
+      return "fnw-actual";
+    case SchemeKind::kTwoStageActual:
+      return "2stage-actual";
+    case SchemeKind::kThreeStageActual:
+      return "3stage-actual";
+    case SchemeKind::kPreset:
+      return "preset";
+    case SchemeKind::kPresetActual:
+      return "preset-actual";
+  }
+  return "unknown";
+}
+
+}  // namespace tw::schemes

@@ -1,0 +1,45 @@
+#pragma once
+// First-fit-decreasing bin packing over current budgets — the shared
+// packing primitive of the content-aware scheme variants (and mirrored by
+// the Tetris packer's write-1 phase in tw::core).
+
+#include <algorithm>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::schemes {
+
+/// Number of bins of capacity `capacity` needed to hold `items` under
+/// first-fit-decreasing. Items larger than the capacity occupy
+/// ceil(item/capacity) dedicated bins (a data unit whose current demand
+/// exceeds the budget must be written in several partial passes).
+/// Zero-valued items need no bin. Returns 0 when nothing needs a bin.
+inline u32 ffd_bin_count(std::vector<u32> items, u32 capacity) {
+  TW_EXPECTS(capacity > 0);
+  std::sort(items.begin(), items.end(), std::greater<>());
+  u32 extra = 0;
+  std::vector<u32> bins;  // residual capacity per open bin
+  for (u32 item : items) {
+    if (item == 0) continue;
+    if (item > capacity) {
+      // Partial passes: all but the remainder fill whole dedicated bins.
+      extra += item / capacity;
+      item %= capacity;
+      if (item == 0) continue;
+    }
+    bool placed = false;
+    for (auto& free : bins) {
+      if (item <= free) {
+        free -= item;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) bins.push_back(capacity - item);
+  }
+  return static_cast<u32>(bins.size()) + extra;
+}
+
+}  // namespace tw::schemes

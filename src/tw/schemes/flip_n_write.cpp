@@ -1,0 +1,43 @@
+#include "tw/schemes/flip_n_write.hpp"
+
+#include "tw/schemes/ffd.hpp"
+#include "tw/schemes/prep.hpp"
+
+namespace tw::schemes {
+
+ServicePlan FlipNWrite::plan_write(pcm::LineBuf& line,
+                                   const pcm::LogicalLine& next) const {
+  const auto& g = cfg_.geometry;
+  const auto plans =
+      plan_line(line, next, FlipCriterion::kHamming, g.data_unit_bits);
+
+  ServicePlan s;
+  s.read_before_write = true;
+  s.programmed = total_transitions(plans);
+  s.silent = s.programmed.total() == 0;
+  for (const auto& p : plans) s.flipped_units += p.flip ? 1u : 0u;
+
+  double units;
+  if (content_aware_) {
+    // Pack by actual current demand: a unit's write draws its SET current
+    // plus L x its RESET current for the whole (worst-length) pulse train.
+    std::vector<u32> demand;
+    demand.reserve(plans.size());
+    for (const auto& p : plans) {
+      u32 d = p.sets + p.resets * cfg_.l();
+      if (p.tag_changed) d += p.tag_to_one ? 1 : cfg_.l();
+      demand.push_back(d);
+    }
+    units = ffd_bin_count(std::move(demand), cfg_.bank_power_budget());
+  } else {
+    // Worst-case guarantee: two units per write unit.
+    units = static_cast<double>(ceil_div(g.units_per_line(), 2));
+  }
+  s.write_units = units;
+  s.latency =
+      cfg_.timing.t_read + static_cast<Tick>(units) * cfg_.timing.t_set;
+  apply_plans(line, plans);
+  return s;
+}
+
+}  // namespace tw::schemes

@@ -1,0 +1,37 @@
+#pragma once
+// Flip-N-Write (Cho & Lee, MICRO'09): read-before-write plus per-unit data
+// inversion so that at most half the cells of a unit change. Under the
+// power budget this guarantees two data units fit in one write unit
+// (Eq. 2: T = Tread + 1/2 * (N/M) * Tset).
+//
+// The "actual" variant is our content-aware ablation: it packs data units
+// into write units by their *measured* current demand instead of the
+// worst-case guarantee (but, unlike Tetris, still treats a unit's SETs and
+// RESETs as one indivisible worst-length write).
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class FlipNWrite final : public WriteScheme {
+ public:
+  /// content_aware=false reproduces the paper's Eq. 2 behaviour.
+  FlipNWrite(const pcm::PcmConfig& cfg, bool content_aware)
+      : WriteScheme(cfg), content_aware_(content_aware) {}
+
+  std::string_view name() const override {
+    return content_aware_ ? "fnw-actual" : "fnw";
+  }
+  SchemeKind kind() const override {
+    return content_aware_ ? SchemeKind::kFlipNWriteActual
+                          : SchemeKind::kFlipNWrite;
+  }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+
+ private:
+  bool content_aware_;
+};
+
+}  // namespace tw::schemes

@@ -1,0 +1,101 @@
+#include "tw/schemes/prep.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::schemes {
+
+UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
+                   FlipCriterion crit, u32 bits) {
+  TW_EXPECTS(bits >= 1 && bits <= 64);
+  const u64 mask = low_mask(bits);
+  old_cells &= mask;
+  new_logical &= mask;
+
+  bool flip = false;
+  switch (crit) {
+    case FlipCriterion::kNone:
+      flip = false;
+      break;
+    case FlipCriterion::kHamming: {
+      // Cost of storing {D, tag=0} vs {~D, tag=1} over {D', F'}, counting
+      // the tag cell. Paper: invert when more than half the bits change.
+      const u32 cost_plain =
+          hamming(new_logical, old_cells) + (old_tag ? 1u : 0u);
+      const u32 cost_flip =
+          hamming((~new_logical) & mask, old_cells) + (old_tag ? 0u : 1u);
+      flip = cost_flip < cost_plain;
+      break;
+    }
+    case FlipCriterion::kMinimizeSets:
+      // Minimize ones in the stored word (stage-1 SET count).
+      flip = popcount(new_logical) * 2 > bits;
+      break;
+  }
+
+  UnitPlan p;
+  p.flip = flip;
+  p.new_cells = (flip ? (~new_logical) : new_logical) & mask;
+  const u64 diff = p.new_cells ^ old_cells;
+  p.sets = popcount(diff & p.new_cells);
+  p.resets = popcount(diff & old_cells);
+  p.all_ones = popcount(p.new_cells);
+  p.all_zeros = bits - p.all_ones;
+  p.tag_changed = old_tag != flip;
+  p.tag_to_one = flip;
+  return p;
+}
+
+std::vector<UnitPlan> plan_line(const pcm::LineBuf& line,
+                                const pcm::LogicalLine& next,
+                                FlipCriterion crit, u32 bits) {
+  TW_EXPECTS(line.units() == next.units());
+  std::vector<UnitPlan> plans;
+  plans.reserve(line.units());
+  for (u32 i = 0; i < line.units(); ++i) {
+    plans.push_back(
+        plan_unit(line.cell(i), line.flip(i), next.word(i), crit, bits));
+  }
+  return plans;
+}
+
+void apply_plans(pcm::LineBuf& line, const std::vector<UnitPlan>& plans) {
+  TW_EXPECTS(plans.size() == line.units());
+  for (u32 i = 0; i < line.units(); ++i) {
+    line.set_cell(i, plans[i].new_cells);
+    line.set_flip(i, plans[i].flip);
+  }
+}
+
+BitTransitions total_transitions(const std::vector<UnitPlan>& plans) {
+  BitTransitions t;
+  for (const auto& p : plans) {
+    t.sets += p.sets;
+    t.resets += p.resets;
+    if (p.tag_changed) {
+      if (p.tag_to_one) {
+        ++t.sets;
+      } else {
+        ++t.resets;
+      }
+    }
+  }
+  return t;
+}
+
+BitTransitions total_all_bits(const std::vector<UnitPlan>& plans) {
+  BitTransitions t;
+  for (const auto& p : plans) {
+    t.sets += p.all_ones;
+    t.resets += p.all_zeros;
+    if (p.tag_changed) {
+      if (p.tag_to_one) {
+        ++t.sets;
+      } else {
+        ++t.resets;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace tw::schemes

@@ -1,0 +1,55 @@
+#pragma once
+// Shared per-data-unit write preparation: the flip decision (Flip-N-Write
+// style or SET-minimizing) and transition counting in the physical cell
+// domain. Every scheme's "read stage" reduces to this.
+
+#include <vector>
+
+#include "tw/common/bits.hpp"
+#include "tw/common/types.hpp"
+#include "tw/pcm/line.hpp"
+
+namespace tw::schemes {
+
+/// How (whether) a scheme decides to invert a data unit before storing.
+enum class FlipCriterion : u8 {
+  kNone,          ///< store the logical data directly (conventional, DCW)
+  kHamming,       ///< FNW: invert if more than half the cells would change
+  kMinimizeSets,  ///< 2-Stage: invert if the stored word has > half ones
+};
+
+/// The prepared write for one data unit.
+struct UnitPlan {
+  u64 new_cells = 0;   ///< physical word to be stored
+  bool flip = false;   ///< new flip-tag value
+  u32 sets = 0;        ///< data cells transitioning 0->1 (changed bits only)
+  u32 resets = 0;      ///< data cells transitioning 1->0
+  u32 all_ones = 0;    ///< ones in the stored word (for all-bit writers)
+  u32 all_zeros = 0;   ///< zeros in the stored word
+  bool tag_changed = false;  ///< the flip-tag cell must be programmed
+  bool tag_to_one = false;   ///< direction of the tag program (if changed)
+
+  u32 changed() const { return sets + resets; }
+};
+
+/// Prepare the write of `new_logical` over a unit currently holding
+/// `old_cells` with tag `old_tag`. `bits` is the data-unit width (<= 64).
+UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
+                   FlipCriterion crit, u32 bits);
+
+/// Prepare every unit of a line write. Returns one UnitPlan per data unit.
+std::vector<UnitPlan> plan_line(const pcm::LineBuf& line,
+                                const pcm::LogicalLine& next,
+                                FlipCriterion crit, u32 bits);
+
+/// Apply prepared unit plans to the physical line (store cells + tags).
+void apply_plans(pcm::LineBuf& line, const std::vector<UnitPlan>& plans);
+
+/// Sum of changed-bit transitions across plans, including tag-cell pulses.
+BitTransitions total_transitions(const std::vector<UnitPlan>& plans);
+
+/// Sum of all-bit writes across plans (conventional / 2-stage energy),
+/// including tag-cell pulses for tags that changed.
+BitTransitions total_all_bits(const std::vector<UnitPlan>& plans);
+
+}  // namespace tw::schemes

@@ -1,0 +1,58 @@
+#include "tw/schemes/preset.hpp"
+
+#include <algorithm>
+
+#include "tw/schemes/ffd.hpp"
+
+namespace tw::schemes {
+
+ServicePlan PresetWrite::plan_write(pcm::LineBuf& line,
+                                    const pcm::LogicalLine& next) const {
+  const auto& g = cfg_.geometry;
+  const u32 bits = g.data_unit_bits;
+  const u32 units = g.units_per_line();
+  const u32 budget = cfg_.bank_power_budget();
+  const u32 l = cfg_.l();
+  const u64 mask = low_mask(bits);
+
+  ServicePlan s;
+  s.read_before_write = false;  // cell state is known: all SET
+
+  // Background pass (off the critical path): SET every cell that is not
+  // already '1' — charged to energy/wear via `background`.
+  for (u32 i = 0; i < units; ++i) {
+    s.background.sets += bits - popcount(line.cell(i) & mask);
+    if (line.flip(i)) {
+      // The tag cell is part of the line; PreSET drives it high too.
+    } else {
+      s.background.sets += 1;
+    }
+  }
+
+  // Critical writeback: RESET the new data's zero bits.
+  std::vector<u32> reset_demand;
+  reset_demand.reserve(units);
+  for (u32 i = 0; i < units; ++i) {
+    const u32 zeros = bits - popcount(next.word(i) & mask);
+    // The tag returns to 0 (PreSET stores plain, uninverted data).
+    s.programmed.resets += zeros + 1;
+    reset_demand.push_back((zeros + 1) * l);
+    line.store_logical(i, next.word(i), /*flipped=*/false);
+  }
+
+  u32 reset_slots;
+  if (content_aware_) {
+    reset_slots = ffd_bin_count(std::move(reset_demand), budget);
+  } else {
+    const u32 conc = std::max<u32>(1, budget / ((bits + 1) * l));
+    reset_slots = static_cast<u32>(ceil_div(units, conc));
+  }
+
+  const Tick write_latency = reset_slots * cfg_.timing.t_reset;
+  s.latency = write_latency;
+  s.write_units = static_cast<double>(write_latency) /
+                  static_cast<double>(cfg_.timing.t_set);
+  return s;
+}
+
+}  // namespace tw::schemes

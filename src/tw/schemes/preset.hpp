@@ -1,0 +1,37 @@
+#pragma once
+// PreSET (Qureshi et al., ISCA'12 — the paper's reference [23]):
+// proactively SET every cell of a line while it sits dirty in the cache,
+// so the eventual writeback only performs fast RESET pulses on the
+// critical path. We model the idealized variant (the background SET pass
+// always completes in time); its cost shows up in energy and wear, not
+// latency.
+//
+// Writeback timing: all cells hold '1', the new data's zero bits are
+// RESET. Worst case a unit RESETs all `bits` cells at L x SET current;
+// the "actual" variant packs measured RESET demand into Treset slots.
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class PresetWrite final : public WriteScheme {
+ public:
+  PresetWrite(const pcm::PcmConfig& cfg, bool content_aware)
+      : WriteScheme(cfg), content_aware_(content_aware) {}
+
+  std::string_view name() const override {
+    return content_aware_ ? "preset-actual" : "preset";
+  }
+  SchemeKind kind() const override {
+    return content_aware_ ? SchemeKind::kPresetActual
+                          : SchemeKind::kPreset;
+  }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+
+ private:
+  bool content_aware_;
+};
+
+}  // namespace tw::schemes

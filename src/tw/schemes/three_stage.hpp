@@ -1,0 +1,36 @@
+#pragma once
+// Three-Stage-Write (Li et al., ASP-DAC'15): Flip-N-Write's read-and-flip
+// stage in front of 2-Stage-Write's RESET/SET split. The flip bounds
+// *changed* bits to half a unit, halving the worst case of both stages
+// (Eq. 4: T = Tread + (1/2K + 1/2L) * (N/M) * Tset).
+//
+// The "actual" variant packs by measured per-stage currents — equivalent to
+// Tetris without the write-0 interspace stealing (stage-0 still fully
+// serializes before stage-1), which makes it the key ablation point.
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class ThreeStageWrite final : public WriteScheme {
+ public:
+  /// content_aware=false reproduces the paper's Eq. 4 worst-case timing.
+  ThreeStageWrite(const pcm::PcmConfig& cfg, bool content_aware)
+      : WriteScheme(cfg), content_aware_(content_aware) {}
+
+  std::string_view name() const override {
+    return content_aware_ ? "3stage-actual" : "3stage";
+  }
+  SchemeKind kind() const override {
+    return content_aware_ ? SchemeKind::kThreeStageActual
+                          : SchemeKind::kThreeStage;
+  }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+
+ private:
+  bool content_aware_;
+};
+
+}  // namespace tw::schemes

@@ -1,0 +1,64 @@
+#include "tw/schemes/two_stage.hpp"
+
+#include <algorithm>
+
+#include "tw/schemes/ffd.hpp"
+#include "tw/schemes/prep.hpp"
+
+namespace tw::schemes {
+
+ServicePlan TwoStageWrite::plan_write(pcm::LineBuf& line,
+                                      const pcm::LogicalLine& next) const {
+  const auto& g = cfg_.geometry;
+  const u32 bits = g.data_unit_bits;
+  const u32 units = g.units_per_line();
+  const u32 budget = cfg_.bank_power_budget();
+  const u32 l = cfg_.l();
+  const auto plans =
+      plan_line(line, next, FlipCriterion::kMinimizeSets, bits);
+
+  ServicePlan s;
+  s.read_before_write = false;
+  s.programmed = total_all_bits(plans);  // writes every cell
+  for (const auto& p : plans) s.flipped_units += p.flip ? 1u : 0u;
+
+  u32 reset_slots;  // serial Treset-long steps in stage-0
+  u32 set_slots;    // serial Tset-long steps in stage-1
+  if (content_aware_) {
+    std::vector<u32> reset_demand, set_demand;
+    reset_demand.reserve(units);
+    set_demand.reserve(units);
+    for (const auto& p : plans) {
+      u32 rd = p.all_zeros * l;
+      u32 sd = p.all_ones;
+      if (p.tag_changed) {
+        if (p.tag_to_one) {
+          sd += 1;
+        } else {
+          rd += l;
+        }
+      }
+      reset_demand.push_back(rd);
+      set_demand.push_back(sd);
+    }
+    reset_slots = ffd_bin_count(std::move(reset_demand), budget);
+    set_slots = ffd_bin_count(std::move(set_demand), budget);
+  } else {
+    // Worst case: a unit may RESET all `bits` cells (current bits*L) and,
+    // thanks to the flip, SETs at most ceil(bits/2) cells.
+    const u32 conc0 = std::max<u32>(1, static_cast<u32>(budget / (bits * l)));
+    const u32 conc1 = std::max<u32>(1, static_cast<u32>(budget / ceil_div(bits, 2)));
+    reset_slots = static_cast<u32>(ceil_div(units, conc0));
+    set_slots = static_cast<u32>(ceil_div(units, conc1));
+  }
+
+  const Tick write_latency =
+      reset_slots * cfg_.timing.t_reset + set_slots * cfg_.timing.t_set;
+  s.latency = write_latency;
+  s.write_units = static_cast<double>(write_latency) /
+                  static_cast<double>(cfg_.timing.t_set);
+  apply_plans(line, plans);
+  return s;
+}
+
+}  // namespace tw::schemes

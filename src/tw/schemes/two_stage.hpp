@@ -1,0 +1,36 @@
+#pragma once
+// 2-Stage-Write (Yue & Zhu, HPCA'13): split the write into a RESET stage
+// (stage-0: all zero bits, short Treset pulses) and a SET stage (stage-1:
+// all one bits, long Tset pulses). The lower SET current lets multiple
+// units' stage-1 run concurrently; inverting the data when a unit has more
+// than half ones doubles stage-1 concurrency again (Eq. 3).
+//
+// No read-before-write: every cell of the line is pulsed, so energy is not
+// reduced (Table I).
+
+#include "tw/schemes/write_scheme.hpp"
+
+namespace tw::schemes {
+
+class TwoStageWrite final : public WriteScheme {
+ public:
+  /// content_aware=false reproduces the paper's Eq. 3 worst-case timing.
+  TwoStageWrite(const pcm::PcmConfig& cfg, bool content_aware)
+      : WriteScheme(cfg), content_aware_(content_aware) {}
+
+  std::string_view name() const override {
+    return content_aware_ ? "2stage-actual" : "2stage";
+  }
+  SchemeKind kind() const override {
+    return content_aware_ ? SchemeKind::kTwoStageActual
+                          : SchemeKind::kTwoStage;
+  }
+
+  ServicePlan plan_write(pcm::LineBuf& line,
+                         const pcm::LogicalLine& next) const override;
+
+ private:
+  bool content_aware_;
+};
+
+}  // namespace tw::schemes

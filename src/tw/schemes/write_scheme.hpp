@@ -1,0 +1,120 @@
+#pragma once
+// WriteScheme: the common interface of every PCM cache-line write policy
+// evaluated in the paper (conventional, DCW, Flip-N-Write, 2-Stage-Write,
+// Three-Stage-Write, Tetris Write).
+//
+// A scheme receives the current *physical* line state (cell words + flip
+// tags) and the new *logical* data, decides what to program, mutates the
+// line to its post-write physical state, and reports the service plan:
+// bank-occupancy latency, the serial write-unit count (the paper's Fig. 10
+// metric), and the bit transitions actually performed (energy/wear).
+
+#include <memory>
+#include <string>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tw/common/bits.hpp"
+#include "tw/common/types.hpp"
+#include "tw/pcm/line.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::schemes {
+
+/// Identifiers for the built-in schemes.
+enum class SchemeKind : u8 {
+  kConventional,    ///< worst-case serial writes, no read-before-write
+  kDcw,             ///< data-comparison write: the paper's baseline
+  kFlipNWrite,      ///< Cho & Lee, MICRO'09
+  kTwoStage,        ///< Yue & Zhu, HPCA'13
+  kThreeStage,      ///< Li et al., ASP-DAC'15
+  kTetris,          ///< this paper
+  // Content-aware ablation variants (pack by actual currents, but without
+  // Tetris's write-0 interspace stealing):
+  kFlipNWriteActual,
+  kTwoStageActual,
+  kThreeStageActual,
+  // PreSET (Qureshi et al., ISCA'12; paper ref [23]): background SET pass
+  // leaves only RESETs on the writeback critical path.
+  kPreset,
+  kPresetActual,
+};
+
+/// What one cache-line write service costs.
+struct ServicePlan {
+  Tick latency = 0;           ///< total bank occupancy (incl. read/analysis)
+  double write_units = 0.0;   ///< serial write-unit equivalents (Fig. 10)
+  BitTransitions programmed;  ///< cell pulses performed (data + tag bits)
+  u32 flipped_units = 0;      ///< data units stored inverted
+  bool read_before_write = false;
+  Tick analysis_ticks = 0;    ///< Tetris analysis-stage overhead (in latency)
+  bool silent = false;        ///< write changed nothing (no pulses)
+  /// Pulses performed off the critical path (PreSET's background SET
+  /// pass): charged to energy and wear but not latency.
+  BitTransitions background;
+};
+
+/// A batch of same-bank writes serviced together (batched Tetris packs
+/// all their data units jointly; other schemes serialize).
+struct BatchServicePlan {
+  Tick latency = 0;                   ///< total bank occupancy
+  std::vector<ServicePlan> per_line;  ///< one plan per input line
+};
+
+/// Abstract write scheme. Implementations are stateless w.r.t. requests
+/// (all state lives in the line passed in), so one instance can be shared
+/// by all banks of a memory system.
+class WriteScheme {
+ public:
+  explicit WriteScheme(const pcm::PcmConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+  }
+  virtual ~WriteScheme() = default;
+
+  WriteScheme(const WriteScheme&) = delete;
+  WriteScheme& operator=(const WriteScheme&) = delete;
+
+  /// Short scheme name, e.g. "tetris".
+  virtual std::string_view name() const = 0;
+  virtual SchemeKind kind() const = 0;
+
+  /// Plan and apply one cache-line write: `line` is mutated to the
+  /// post-write physical state; `next` is the new logical data.
+  /// `line.units()` must equal `next.units()` and match the configured
+  /// cache-line geometry.
+  virtual ServicePlan plan_write(pcm::LineBuf& line,
+                                 const pcm::LogicalLine& next) const = 0;
+
+  /// Plan a batch of writes destined for the same bank. The default
+  /// serializes the individual plans; Tetris overrides this to pack all
+  /// units jointly (shared write units, one analysis pass).
+  virtual BatchServicePlan plan_write_batch(
+      std::span<pcm::LineBuf*> lines,
+      std::span<const pcm::LogicalLine> datas) const;
+
+  /// Latency of a demand read through this scheme's datapath. Every
+  /// scheme leaves the read path untouched (the paper stresses Tetris
+  /// adds no read-path logic).
+  Tick read_latency() const { return cfg_.timing.t_read; }
+
+  const pcm::PcmConfig& config() const { return cfg_; }
+
+ protected:
+  pcm::PcmConfig cfg_;
+};
+
+/// Canonical short name for a kind. (The factory constructing instances
+/// lives in tw/core/factory.hpp, above the Tetris implementation.)
+std::string_view scheme_name(SchemeKind kind);
+
+/// All kinds evaluated in the paper's figures, in presentation order:
+/// fnw, 2stage, 3stage, tetris (baseline dcw is the normalization target).
+inline constexpr SchemeKind kPaperSchemes[] = {
+    SchemeKind::kFlipNWrite,
+    SchemeKind::kTwoStage,
+    SchemeKind::kThreeStage,
+    SchemeKind::kTetris,
+};
+
+}  // namespace tw::schemes

@@ -1,0 +1,44 @@
+#include "tw/sim/simulator.hpp"
+
+#include <utility>
+
+namespace tw::sim {
+
+void Simulator::schedule_at(Tick at, Callback fn, Priority prio) {
+  TW_EXPECTS(at >= now_);
+  TW_EXPECTS(fn != nullptr);
+  queue_.push(Event{at, static_cast<u8>(prio), seq_++, std::move(fn)});
+}
+
+u64 Simulator::run(Tick limit) {
+  u64 n = 0;
+  while (!queue_.empty() && queue_.top().tick <= limit) {
+    // Copy out before pop so the callback can schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    TW_ASSERT(ev.tick >= now_);
+    now_ = ev.tick;
+    ++executed_;
+    ++n;
+    ev.fn();
+  }
+  // Advance the clock to the limit: everything left is strictly later.
+  if (limit != kTickMax && now_ < limit) now_ = limit;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.tick;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::clear() {
+  queue_ = {};
+}
+
+}  // namespace tw::sim

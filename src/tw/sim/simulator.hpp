@@ -1,0 +1,112 @@
+#pragma once
+// Event-driven simulation kernel (the NVMain/gem5 stand-in's heart).
+//
+// Deterministic: events at the same tick fire in (priority, insertion order)
+// sequence. Callbacks may schedule further events. Single-threaded by
+// design — cross-experiment parallelism happens at the harness level.
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw::sim {
+
+/// Scheduling priority for events at the same tick; lower runs first.
+enum class Priority : u8 {
+  kDeviceComplete = 0,  ///< device/bank completions
+  kController = 1,      ///< memory-controller scheduling decisions
+  kCpu = 2,             ///< CPU progress
+  kDefault = 3,
+};
+
+/// Discrete-event simulator with a monotonically advancing clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Schedule `fn` at absolute tick `at` (must be >= now()).
+  void schedule_at(Tick at, Callback fn,
+                   Priority prio = Priority::kDefault);
+
+  /// Schedule `fn` after `delay` ticks from now.
+  void schedule_in(Tick delay, Callback fn,
+                   Priority prio = Priority::kDefault) {
+    schedule_at(now_ + delay, std::move(fn), prio);
+  }
+
+  /// Run until the event queue is empty or `limit` is reached.
+  /// Returns the number of events executed.
+  u64 run(Tick limit = kTickMax);
+
+  /// Execute exactly one event (if any). Returns false when queue empty.
+  bool step();
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed so far.
+  u64 executed() const { return executed_; }
+
+  /// Drop all pending events (used by tests).
+  void clear();
+
+ private:
+  struct Event {
+    Tick tick;
+    u8 prio;
+    u64 seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.tick != b.tick) return a.tick > b.tick;
+      if (a.prio != b.prio) return a.prio > b.prio;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  u64 seq_ = 0;
+  u64 executed_ = 0;
+};
+
+/// A fixed-frequency clock domain layered on the picosecond timebase.
+class Clock {
+ public:
+  /// period: ticks per cycle (e.g. 500 ps for a 2 GHz core).
+  explicit constexpr Clock(Tick period) : period_(period) {
+    // A zero period would make cycle arithmetic divide by zero.
+  }
+
+  constexpr Tick period() const { return period_; }
+  constexpr double freq_ghz() const {
+    return 1000.0 / static_cast<double>(period_);
+  }
+
+  /// Cycles elapsed at tick t (floor).
+  constexpr u64 cycles_at(Tick t) const { return t / period_; }
+
+  /// Tick of the start of cycle c.
+  constexpr Tick tick_of(u64 cycle) const { return cycle * period_; }
+
+  /// Ticks for n cycles.
+  constexpr Tick cycles(u64 n) const { return n * period_; }
+
+  /// The first clock edge at or after tick t.
+  constexpr Tick next_edge(Tick t) const {
+    return ceil_div(t, period_) * period_;
+  }
+
+ private:
+  Tick period_;
+};
+
+}  // namespace tw::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Streaming statistical accumulator (Welford's online algorithm).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tw/common/types.hpp"
+
+namespace tw::stats {
+
+/// Accumulates count/mean/variance/min/max of a stream of doubles without
+/// storing samples. Numerically stable (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merge another accumulator (parallel reduction, Chan et al.).
+  void merge(const Accumulator& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * o.mean_) / nt;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  u64 count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Population variance (0 for fewer than 2 samples).
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  u64 n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace tw::stats

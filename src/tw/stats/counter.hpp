@@ -1,0 +1,19 @@
+#pragma once
+// Simple named counters for event counting in the simulator.
+
+#include "tw/common/types.hpp"
+
+namespace tw::stats {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(u64 by = 1) { value_ += by; }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+}  // namespace tw::stats

@@ -1,0 +1,92 @@
+#include "tw/stats/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/strings.hpp"
+
+namespace tw::stats {
+
+Log2Histogram::Log2Histogram(u32 sub_buckets) : sub_(sub_buckets) {
+  TW_EXPECTS(sub_buckets >= 1);
+  buckets_.resize(static_cast<std::size_t>(64) * sub_ + sub_, 0);
+}
+
+u64 Log2Histogram::bucket_index(u64 value) const {
+  if (value < sub_) return value;  // exact small values
+  const u32 msb = 63 - static_cast<u32>(std::countl_zero(value));
+  // Octave = msb; position within octave from the bits below the MSB.
+  const u64 below = value ^ (u64{1} << msb);
+  const u64 pos = msb == 0 ? 0 : (below * sub_) >> msb;
+  return static_cast<u64>(msb) * sub_ + pos + sub_;
+}
+
+u64 Log2Histogram::bucket_low(u64 index) const {
+  if (index < sub_) return index;
+  const u64 adj = index - sub_;
+  const u32 msb = static_cast<u32>(adj / sub_);
+  const u64 pos = adj % sub_;
+  return (u64{1} << msb) + ((pos << msb) / sub_);
+}
+
+u64 Log2Histogram::bucket_high(u64 index) const {
+  if (index < sub_) return index;
+  const u64 adj = index - sub_;
+  const u32 msb = static_cast<u32>(adj / sub_);
+  const u64 pos = adj % sub_;
+  if (pos + 1 == sub_) return u64{1} << (msb + 1);
+  return (u64{1} << msb) + (((pos + 1) << msb) / sub_);
+}
+
+void Log2Histogram::add(u64 value, u64 count) {
+  if (count == 0) return;
+  const u64 idx = bucket_index(value);
+  TW_ASSERT(idx < buckets_.size());
+  buckets_[idx] += count;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double Log2Histogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (u64 i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double lo = static_cast<double>(bucket_low(i));
+      const double hi = static_cast<double>(bucket_high(i));
+      const double frac = (target - seen) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Log2Histogram::summary() const {
+  return "n=" + std::to_string(total_) + " mean=" + fixed(mean(), 1) +
+         " p50=" + fixed(percentile(0.50), 1) +
+         " p95=" + fixed(percentile(0.95), 1) +
+         " p99=" + fixed(percentile(0.99), 1) +
+         " max=" + std::to_string(max());
+}
+
+void Log2Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace tw::stats

@@ -1,0 +1,50 @@
+#pragma once
+// Log-scaled histogram with percentile estimation, used for latency
+// distributions (ns-scale values spanning several orders of magnitude).
+
+#include <string>
+#include <vector>
+
+#include "tw/common/types.hpp"
+
+namespace tw::stats {
+
+/// Histogram over non-negative integers with power-of-two bucket boundaries
+/// refined by `sub_buckets` linear sub-divisions per octave (HdrHistogram
+/// style). Percentiles are estimated by linear interpolation in-bucket.
+class Log2Histogram {
+ public:
+  /// sub_buckets: linear subdivisions per power-of-two octave (>=1).
+  explicit Log2Histogram(u32 sub_buckets = 4);
+
+  void add(u64 value, u64 count = 1);
+
+  u64 total_count() const { return total_; }
+  u64 min() const { return total_ == 0 ? 0 : min_; }
+  u64 max() const { return total_ == 0 ? 0 : max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// Estimated value at quantile q in [0,1].
+  double percentile(double q) const;
+
+  /// Render a compact textual summary (count/mean/p50/p95/p99/max).
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  u64 bucket_index(u64 value) const;
+  u64 bucket_low(u64 index) const;
+  u64 bucket_high(u64 index) const;
+
+  u32 sub_;
+  std::vector<u64> buckets_;
+  u64 total_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace tw::stats

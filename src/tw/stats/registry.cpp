@@ -1,0 +1,45 @@
+#include "tw/stats/registry.hpp"
+
+#include "tw/common/strings.hpp"
+
+namespace tw::stats {
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Accumulator& Registry::accumulator(const std::string& name) {
+  auto& slot = accs_[name];
+  if (!slot) slot = std::make_unique<Accumulator>();
+  return *slot;
+}
+
+Log2Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<Log2Histogram>();
+  return *slot;
+}
+
+void Registry::report(std::ostream& out, const std::string& prefix) const {
+  for (const auto& [name, c] : counters_) {
+    out << prefix << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, a] : accs_) {
+    out << prefix << name << " mean=" << fixed(a->mean(), 3)
+        << " n=" << a->count() << " min=" << fixed(a->min(), 3)
+        << " max=" << fixed(a->max(), 3) << "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    out << prefix << name << " " << h->summary() << "\n";
+  }
+}
+
+void Registry::reset() {
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, a] : accs_) a->reset();
+  for (auto& [_, h] : hists_) h->reset();
+}
+
+}  // namespace tw::stats

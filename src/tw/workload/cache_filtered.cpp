@@ -1,0 +1,100 @@
+#include "tw/workload/cache_filtered.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::workload {
+
+CacheFilteredSource::CacheFilteredSource(
+    const WorkloadProfile& cpu_profile, const pcm::GeometryParams& geometry,
+    const cache::HierarchyConfig& hierarchy, u32 cores, u64 seed,
+    double ipc_per_cycle)
+    : raw_(cpu_profile, geometry, cores, seed),
+      pending_(cores),
+      cpu_instructions_(cores, 0),
+      mem_requests_(cores, 0),
+      ipc_(ipc_per_cycle) {
+  TW_EXPECTS(cores >= 1);
+  TW_EXPECTS(ipc_per_cycle > 0.0);
+  stacks_.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    stacks_.push_back(std::make_unique<cache::Hierarchy>(hierarchy));
+  }
+}
+
+TraceOp CacheFilteredSource::next(u32 core) {
+  TW_EXPECTS(core < stacks_.size());
+
+  // Drain queued write-backs first (they piggyback with zero gap).
+  if (!pending_[core].empty()) {
+    const TraceOp op = pending_[core].front();
+    pending_[core].pop_front();
+    ++mem_requests_[core];
+    return op;
+  }
+
+  u64 accumulated_gap = 0;
+  u64 spins = 0;
+  for (;;) {
+    const TraceOp cpu_op = raw_.next(core);
+    // Safety valve: a working set that fits entirely in the caches would
+    // otherwise never emit again. Model the occasional cold/DMA miss by
+    // forcing one through after a long all-hit streak.
+    if (++spins > 100'000) {
+      TraceOp out;
+      out.gap = accumulated_gap;
+      out.is_write = cpu_op.is_write;
+      out.addr = cpu_op.addr;
+      ++mem_requests_[core];
+      return out;
+    }
+    cpu_instructions_[core] += cpu_op.gap + 1;
+    accumulated_gap += cpu_op.gap + 1;
+
+    const cache::HierarchyResult r =
+        stacks_[core]->access(cpu_op.addr, cpu_op.is_write);
+    // Hit latency is hidden compute time: fold it into the gap as the
+    // instructions the core could have retired meanwhile.
+    accumulated_gap +=
+        static_cast<u64>(static_cast<double>(r.latency_cycles) * ipc_);
+
+    for (const Addr wb : r.memory_writebacks) {
+      TraceOp w;
+      w.gap = 0;
+      w.is_write = true;
+      w.addr = wb;
+      pending_[core].push_back(w);
+    }
+
+    if (r.memory_read) {
+      TraceOp out;
+      out.gap = accumulated_gap;
+      out.is_write = false;
+      out.addr = cpu_op.addr;
+      ++mem_requests_[core];
+      return out;
+    }
+    if (!pending_[core].empty()) {
+      TraceOp out = pending_[core].front();
+      pending_[core].pop_front();
+      out.gap = accumulated_gap;
+      ++mem_requests_[core];
+      return out;
+    }
+    // Pure cache hit: keep accumulating until something reaches memory.
+  }
+}
+
+pcm::LogicalLine CacheFilteredSource::make_write_data(Addr addr,
+                                                      mem::DataStore& store,
+                                                      u32 core) {
+  return raw_.make_write_data(addr, store, core);
+}
+
+double CacheFilteredSource::effective_mem_per_kilo(u32 core) const {
+  TW_EXPECTS(core < stacks_.size());
+  if (cpu_instructions_[core] == 0) return 0.0;
+  return 1000.0 * static_cast<double>(mem_requests_[core]) /
+         static_cast<double>(cpu_instructions_[core]);
+}
+
+}  // namespace tw::workload

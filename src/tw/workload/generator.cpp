@@ -1,0 +1,147 @@
+#include "tw/workload/generator.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/bits.hpp"
+
+namespace tw::workload {
+namespace {
+
+// Address-space layout: each core owns a private region; one shared
+// region is common to all cores. Regions are spaced far apart so they
+// never alias (the store is sparse; capacity is not enforced here).
+constexpr Addr kPrivateBase = 0x0000'0001'0000'0000ull;
+constexpr Addr kPrivateStride = 0x0000'0001'0000'0000ull;
+constexpr Addr kSharedBase = 0x0000'1000'0000'0000ull;
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
+                               const pcm::GeometryParams& geometry,
+                               u32 cores, u64 seed)
+    : profile_(profile),
+      line_bytes_(geometry.cache_line_bytes),
+      units_per_line_(geometry.units_per_line()),
+      unit_bits_(geometry.data_unit_bits),
+      shared_frac_(shared_fraction(profile.sharing)),
+      in_burst_(cores, false) {
+  TW_EXPECTS(cores >= 1);
+  TW_EXPECTS(profile.burstiness >= 0.0 && profile.burstiness <= 1.0);
+  TW_EXPECTS(profile.mem_ops_per_kilo() > 0.0);
+  SplitMix64 sm(seed ^ 0xC0FFEE1234ull);
+  core_rng_.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) core_rng_.emplace_back(sm.next());
+}
+
+TraceOp TraceGenerator::next(u32 core) {
+  TW_EXPECTS(core < core_rng_.size());
+  Rng& rng = core_rng_[core];
+
+  TraceOp op;
+  const double mean_gap = 1000.0 / profile_.mem_ops_per_kilo();
+  op.gap = modulate_gap(rng.geometric(std::max(1.0, mean_gap)), core, rng);
+  op.is_write = rng.chance(profile_.write_fraction());
+  op.addr = pick_address(core, rng);
+  return op;
+}
+
+u64 TraceGenerator::modulate_gap(u64 gap, u32 core, Rng& rng) {
+  const double b = profile_.burstiness;
+  if (b <= 0.0) return gap;
+  // Two-state ON/OFF modulation: ON periods run 8x the rate; the duty
+  // cycle is b/4 and OFF gaps stretch so the long-run average rate (and
+  // so RPKI/WPKI) is preserved:
+  //   duty/8 + (1-duty)*stretch = 1.
+  constexpr double kSpeedup = 8.0;
+  constexpr double kBurstLength = 32.0;  // mean ops per ON period
+  const double duty = 0.25 * b;
+  const double p_exit = 1.0 / kBurstLength;
+  const double p_enter = p_exit * duty / (1.0 - duty);
+  const bool burst = in_burst_[core];
+  if (burst) {
+    if (rng.chance(p_exit)) in_burst_[core] = false;
+  } else {
+    if (rng.chance(p_enter)) in_burst_[core] = true;
+  }
+  if (burst) {
+    const u64 g = static_cast<u64>(static_cast<double>(gap) / kSpeedup);
+    return g == 0 ? 1 : g;
+  }
+  const double stretch = (1.0 - duty / kSpeedup) / (1.0 - duty);
+  return static_cast<u64>(static_cast<double>(gap) * stretch);
+}
+
+Addr TraceGenerator::pick_address(u32 core, Rng& rng) {
+  const u64 line = rng.below(profile_.working_set_lines);
+  Addr base;
+  if (rng.chance(shared_frac_)) {
+    base = kSharedBase;
+  } else {
+    base = kPrivateBase + core * kPrivateStride;
+  }
+  return base + line * line_bytes_;
+}
+
+u64 TraceGenerator::mutate_unit(u64 logical, Rng& rng) {
+  const u64 mask = low_mask(unit_bits_);
+  logical &= mask;
+
+  // Collect zero and one bit positions.
+  std::array<u8, 64> zeros{};
+  std::array<u8, 64> ones{};
+  u32 nz = 0, no = 0;
+  for (u32 b = 0; b < unit_bits_; ++b) {
+    if (get_bit(logical, b)) {
+      ones[no++] = static_cast<u8>(b);
+    } else {
+      zeros[nz++] = static_cast<u8>(b);
+    }
+  }
+
+  u32 n_set = static_cast<u32>(rng.poisson(profile_.mean_sets));
+  u32 n_reset = static_cast<u32>(rng.poisson(profile_.mean_resets));
+  n_set = std::min(n_set, nz);
+  n_reset = std::min(n_reset, no);
+
+  // Partial Fisher-Yates: choose n_set zero positions to raise.
+  for (u32 i = 0; i < n_set; ++i) {
+    const u32 j = i + static_cast<u32>(rng.below(nz - i));
+    std::swap(zeros[i], zeros[j]);
+    logical = with_bit(logical, zeros[i], true);
+  }
+  for (u32 i = 0; i < n_reset; ++i) {
+    const u32 j = i + static_cast<u32>(rng.below(no - i));
+    std::swap(ones[i], ones[j]);
+    logical = with_bit(logical, ones[i], false);
+  }
+  return logical;
+}
+
+pcm::LogicalLine TraceGenerator::make_write_data(Addr addr,
+                                                 mem::DataStore& store,
+                                                 u32 core) {
+  TW_EXPECTS(core < core_rng_.size());
+  Rng& rng = core_rng_[core];
+  pcm::LogicalLine next(units_per_line_);
+
+  if (rng.chance(profile_.line_rewrite_prob)) {
+    // Full-line rewrite: fresh content, ~half the cells change. This is
+    // the heavy tail of real write traces (decoded frames, storage
+    // streams) and what exercises the Flip-N-Write inversion path.
+    const u64 mask = low_mask(unit_bits_);
+    for (u32 u = 0; u < units_per_line_; ++u) {
+      next.set_word(u, rng.next() & mask);
+    }
+    return next;
+  }
+
+  pcm::LogicalLine current = store.read_logical(addr);
+  for (u32 u = 0; u < units_per_line_; ++u) {
+    next.set_word(u, mutate_unit(current.word(u), rng));
+  }
+  return next;
+}
+
+}  // namespace tw::workload

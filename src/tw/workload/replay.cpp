@@ -1,0 +1,49 @@
+#include "tw/workload/replay.hpp"
+
+#include "tw/common/assert.hpp"
+
+namespace tw::workload {
+
+TraceReplaySource::TraceReplaySource(std::vector<TraceRecord> records,
+                                     u32 cores,
+                                     const WorkloadProfile& content_profile,
+                                     const pcm::GeometryParams& geometry,
+                                     u64 seed)
+    : per_core_(cores),
+      cursor_(cores, 0),
+      wraps_(cores, 0),
+      content_(content_profile, geometry, cores, seed) {
+  TW_EXPECTS(cores >= 1);
+  for (auto& r : records) {
+    TW_EXPECTS(r.core < cores);
+    per_core_[r.core].push_back(r);
+  }
+  for (u32 c = 0; c < cores; ++c) {
+    if (per_core_[c].empty()) {
+      TW_FAIL("trace has no records for a core");
+    }
+  }
+}
+
+TraceOp TraceReplaySource::next(u32 core) {
+  TW_EXPECTS(core < per_core_.size());
+  auto& stream = per_core_[core];
+  if (cursor_[core] >= stream.size()) {
+    cursor_[core] = 0;
+    ++wraps_[core];
+  }
+  const TraceRecord& r = stream[cursor_[core]++];
+  TraceOp op;
+  op.gap = r.gap;
+  op.is_write = r.is_write;
+  op.addr = r.addr;
+  return op;
+}
+
+pcm::LogicalLine TraceReplaySource::make_write_data(Addr addr,
+                                                    mem::DataStore& store,
+                                                    u32 core) {
+  return content_.make_write_data(addr, store, core);
+}
+
+}  // namespace tw::workload

@@ -1,0 +1,40 @@
+#pragma once
+// TraceReplaySource: drive the simulator from a recorded request stream
+// (see trace_io.hpp) instead of the live generator. Address/type/timing
+// come from the trace; write payloads are synthesized against current
+// memory content with the profile's bit statistics, so a replayed trace
+// exercises the same queueing behaviour deterministically.
+
+#include <vector>
+
+#include "tw/workload/generator.hpp"
+#include "tw/workload/trace_io.hpp"
+
+namespace tw::workload {
+
+/// Replays TraceRecords per core; wraps around when a core's stream is
+/// exhausted (so any instruction budget can be driven from any trace).
+class TraceReplaySource : public RequestSource {
+ public:
+  /// `records` may be interleaved; they are split by core id. Every core
+  /// in [0, cores) must have at least one record.
+  TraceReplaySource(std::vector<TraceRecord> records, u32 cores,
+                    const WorkloadProfile& content_profile,
+                    const pcm::GeometryParams& geometry, u64 seed);
+
+  TraceOp next(u32 core) override;
+
+  pcm::LogicalLine make_write_data(Addr addr, mem::DataStore& store,
+                                   u32 core) override;
+
+  /// How many times core `c`'s stream wrapped around.
+  u64 wraps(u32 core) const { return wraps_[core]; }
+
+ private:
+  std::vector<std::vector<TraceRecord>> per_core_;
+  std::vector<std::size_t> cursor_;
+  std::vector<u64> wraps_;
+  TraceGenerator content_;  ///< payload synthesis only
+};
+
+}  // namespace tw::workload

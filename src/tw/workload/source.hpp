@@ -1,0 +1,33 @@
+#pragma once
+// RequestSource: the interface between CPU cores and whatever produces
+// their memory-level requests — the raw trace generator (Table III rates
+// are already post-L3) or the cache-filtered source that runs CPU-level
+// accesses through the tw::cache hierarchy first.
+
+#include "tw/common/types.hpp"
+#include "tw/mem/data_store.hpp"
+#include "tw/pcm/line.hpp"
+
+namespace tw::workload {
+
+/// One generated request (declared here; TraceGenerator re-exports it).
+struct TraceOp {
+  u64 gap = 0;        ///< instructions executed before this request
+  bool is_write = false;
+  Addr addr = 0;      ///< line-aligned
+};
+
+/// Abstract per-core stream of memory requests.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Next memory-level request for `core`.
+  virtual TraceOp next(u32 core) = 0;
+
+  /// Synthesize the write payload for `addr` against current content.
+  virtual pcm::LogicalLine make_write_data(Addr addr, mem::DataStore& store,
+                                           u32 core) = 0;
+};
+
+}  // namespace tw::workload

@@ -1,0 +1,93 @@
+#include "tw/workload/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tw::workload {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'T', 'W', 'T', 'R', 'A', 'C', 'E',
+                                        '1'};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("trace file truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_trace(const std::string& path,
+                const std::vector<TraceRecord>& records, u32 cores) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out.write(kMagic.data(), kMagic.size());
+  put<u32>(out, static_cast<u32>(records.size()));
+  put<u32>(out, cores);
+  for (const auto& r : records) {
+    put<u64>(out, r.gap);
+    put<u64>(out, r.addr);
+    put<u32>(out, r.core);
+    put<u8>(out, r.is_write ? 1 : 0);
+    const u8 pad[3] = {0, 0, 0};
+    out.write(reinterpret_cast<const char*>(pad), 3);
+  }
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+std::vector<TraceRecord> load_trace(const std::string& path, u32* cores) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("bad trace magic: " + path);
+  }
+  const u32 count = get<u32>(in);
+  const u32 ncores = get<u32>(in);
+  if (cores != nullptr) *cores = ncores;
+
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.gap = get<u64>(in);
+    r.addr = get<u64>(in);
+    r.core = get<u32>(in);
+    r.is_write = get<u8>(in) != 0;
+    u8 pad[3];
+    in.read(reinterpret_cast<char*>(pad), 3);
+    if (!in) throw std::runtime_error("trace file truncated");
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<TraceRecord> capture(TraceGenerator& gen, u32 cores,
+                                 u64 count) {
+  std::vector<TraceRecord> records;
+  records.reserve(cores * count);
+  for (u32 c = 0; c < cores; ++c) {
+    for (u64 i = 0; i < count; ++i) {
+      const TraceOp op = gen.next(c);
+      TraceRecord r;
+      r.gap = op.gap;
+      r.addr = op.addr;
+      r.core = c;
+      r.is_write = op.is_write;
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+}  // namespace tw::workload

@@ -1,0 +1,171 @@
+// Unit tests for the set-associative cache and the 3-level hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "tw/cache/cache.hpp"
+#include "tw/cache/hierarchy.hpp"
+#include "tw/common/rng.hpp"
+
+namespace tw::cache {
+namespace {
+
+CacheConfig tiny(u32 ways = 2) {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.ways = ways;
+  c.line_bytes = 64;
+  c.latency_cycles = 2;
+  c.name = "tiny";
+  return c;
+}
+
+TEST(Cache, GeometryDerivation) {
+  const CacheConfig c = tiny(2);
+  EXPECT_EQ(c.sets(), 8u);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(Cache, InvalidGeometryRejected) {
+  CacheConfig c = tiny();
+  c.size_bytes = 1000;  // not divisible
+  EXPECT_THROW(Cache{c}, ContractViolation);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny());
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x3F, false).hit);  // same line
+  EXPECT_FALSE(c.access(0x40, false).hit);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(tiny(2));  // 8 sets, 2 ways; lines 0, 8, 16 share set 0
+  const Addr a = 0 * 64, b = 8 * 64, d = 16 * 64;
+  c.access(a, false);
+  c.access(b, false);
+  c.access(a, false);      // a is MRU
+  c.access(d, false);      // evicts b (LRU)
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache c(tiny(1));  // direct-mapped: 16 sets
+  const Addr a = 0, b = 16 * 64;  // same set
+  c.access(a, /*is_write=*/true);
+  const AccessResult r = c.access(b, false);
+  ASSERT_TRUE(r.writeback.has_value());
+  EXPECT_EQ(*r.writeback, a);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionSilent) {
+  Cache c(tiny(1));
+  c.access(0, false);
+  const AccessResult r = c.access(16 * 64, false);
+  EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(Cache, WriteMarksDirtyOnHitToo) {
+  Cache c(tiny(1));
+  c.access(0, false);
+  c.access(0, true);  // hit-store dirties
+  const AccessResult r = c.access(16 * 64, false);
+  EXPECT_TRUE(r.writeback.has_value());
+}
+
+TEST(Cache, InvalidateReturnsDirtyAddress) {
+  Cache c(tiny());
+  c.access(0x40, true);
+  EXPECT_EQ(c.invalidate(0x40), std::optional<Addr>{0x40});
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.invalidate(0x40), std::nullopt);  // already gone
+}
+
+TEST(Cache, HitRate) {
+  Cache c(tiny());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  EXPECT_NEAR(c.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, WritebackAddressRoundTrips) {
+  // The reconstructed writeback address must map to the same set/tag.
+  Cache c(tiny(1));
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Addr a = (rng.below(1 << 20)) * 64;
+    const AccessResult r = c.access(a, true);
+    if (r.writeback) {
+      EXPECT_NE(*r.writeback, a);
+      EXPECT_EQ(*r.writeback % 64, 0u);
+    }
+  }
+}
+
+// -------------------------------------------------------------- hierarchy --
+TEST(Hierarchy, Table2Defaults) {
+  const HierarchyConfig cfg;
+  EXPECT_EQ(cfg.l1d.latency_cycles, 2u);
+  EXPECT_EQ(cfg.l2.latency_cycles, 20u);
+  EXPECT_EQ(cfg.l3.latency_cycles, 50u);
+  EXPECT_EQ(cfg.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(cfg.l3.size_bytes, 32ull * 1024 * 1024);
+  Hierarchy h(cfg);  // must construct
+}
+
+TEST(Hierarchy, FirstAccessMissesToMemory) {
+  Hierarchy h{HierarchyConfig{}};
+  const HierarchyResult r = h.access(0x1000, false);
+  EXPECT_TRUE(r.memory_read);
+  EXPECT_EQ(r.hit_level, 0u);
+  EXPECT_EQ(r.latency_cycles, 2u + 20u + 50u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h{HierarchyConfig{}};
+  h.access(0x1000, false);
+  const HierarchyResult r = h.access(0x1000, false);
+  EXPECT_FALSE(r.memory_read);
+  EXPECT_EQ(r.hit_level, 1u);
+  EXPECT_EQ(r.latency_cycles, 2u);
+}
+
+TEST(Hierarchy, DirtyLinesEventuallyReachMemory) {
+  // Small custom hierarchy so evictions happen quickly.
+  HierarchyConfig cfg;
+  cfg.l1d = CacheConfig{1024, 2, 64, 2, "L1D"};
+  cfg.l2 = CacheConfig{2048, 2, 64, 20, "L2"};
+  cfg.l3 = CacheConfig{4096, 2, 64, 50, "L3"};
+  Hierarchy h(cfg);
+  Rng rng(1);
+  u64 memory_writes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Addr a = rng.below(1 << 14) * 64;
+    const HierarchyResult r = h.access(a, rng.chance(0.5));
+    memory_writes += r.memory_writebacks.size();
+  }
+  EXPECT_GT(memory_writes, 100u);
+}
+
+TEST(Hierarchy, WorkingSetInL2NeverTouchesMemoryAfterWarmup) {
+  Hierarchy h{HierarchyConfig{}};
+  // 128 lines = 8 KB: fits L1 (32 KB) easily.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Addr a = 0; a < 128 * 64; a += 64) {
+      const HierarchyResult r = h.access(a, false);
+      if (pass > 0) {
+        EXPECT_FALSE(r.memory_read);
+        EXPECT_EQ(r.hit_level, 1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tw::cache

@@ -1,0 +1,218 @@
+// Unit tests for the Tetris analysis-stage packer (Algorithm 2),
+// including the paper's Fig. 4 worked example and randomized invariant
+// sweeps via verify_pack.
+
+#include <gtest/gtest.h>
+
+#include "tw/common/rng.hpp"
+#include "tw/core/packer.hpp"
+
+namespace tw::core {
+namespace {
+
+PackerConfig paper_cfg() {
+  PackerConfig c;
+  c.k = 8;
+  c.l = 2;
+  c.budget = 32;  // the Fig. 4 example uses the per-chip budget of 32
+  return c;
+}
+
+std::vector<UnitCounts> counts_of(std::initializer_list<std::pair<u32, u32>>
+                                      n1_n0) {
+  std::vector<UnitCounts> v;
+  u32 i = 0;
+  for (const auto& [n1, n0] : n1_n0) {
+    v.push_back(UnitCounts{i++, n1, n0});
+  }
+  return v;
+}
+
+// ----------------------------------------------------- basic behaviours --
+TEST(Packer, EmptyLine) {
+  const PackResult r = pack({}, paper_cfg());
+  EXPECT_EQ(r.result, 0u);
+  EXPECT_EQ(r.subresult, 0u);
+  EXPECT_DOUBLE_EQ(r.write_unit_equiv(8), 0.0);
+}
+
+TEST(Packer, AllZeroCountsNeedNothing) {
+  const auto counts = counts_of({{0, 0}, {0, 0}, {0, 0}});
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 0u);
+  EXPECT_EQ(r.subresult, 0u);
+  EXPECT_TRUE(r.write1_queue.empty());
+  EXPECT_TRUE(r.write0_queue.empty());
+}
+
+TEST(Packer, SingleUnitOneWriteUnit) {
+  const auto counts = counts_of({{5, 0}});
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 1u);
+  EXPECT_EQ(r.subresult, 0u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, Write1sPackUnderBudget) {
+  // 8+7+7+6+3 = 31 <= 32 fits one write unit (the Fig. 4 narrative).
+  const auto counts = counts_of({{8, 0}, {7, 0}, {7, 0}, {6, 0}, {3, 0}});
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 1u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, Write1OverflowOpensSecondUnit) {
+  const auto counts = counts_of({{20, 0}, {20, 0}});  // 40 > 32
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 2u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, PureResetLineUsesOnlySubUnits) {
+  const auto counts = counts_of({{0, 4}, {0, 3}});
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 0u);
+  EXPECT_GE(r.subresult, 1u);
+  // Both write-0s fit one fresh sub-slot: 4*2 + 3*2 = 14 <= 32.
+  EXPECT_EQ(r.subresult, 1u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, Write0StealsInterspace) {
+  // One write-1 heavy unit leaves 32-20=12 headroom; another unit's
+  // write-0 demand 5*2=10 fits inside the same write unit's sub-slots.
+  const auto counts = counts_of({{20, 0}, {0, 5}});
+  const PackResult r = pack(counts, paper_cfg());
+  EXPECT_EQ(r.result, 1u);
+  EXPECT_EQ(r.subresult, 0u);  // stolen interspace, no extra sub-unit
+  ASSERT_EQ(r.write0_queue.size(), 1u);
+  EXPECT_LT(r.write0_queue[0].sub_slot, 8u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, SelfOverlapCanBeForbidden) {
+  // Conservative-MUX mode: a unit's write-0 may not land in its own
+  // write unit's sub-slots and must spill to a trailing sub-slot.
+  const auto counts = counts_of({{10, 5}});
+  PackerConfig c = paper_cfg();
+  c.forbid_self_overlap = true;
+  const PackResult r = pack(counts, c);
+  EXPECT_EQ(r.result, 1u);
+  EXPECT_EQ(r.subresult, 1u);  // must spill to a trailing sub-slot
+  EXPECT_GE(r.write0_queue[0].sub_slot, 8u);
+  verify_pack(counts, c, r);
+}
+
+TEST(Packer, SelfOverlapAllowedByDefaultLikeFig4) {
+  // The paper's Fig. 4 schedules a unit's write-0s inside its own write
+  // unit (disjoint bits, independent FSMs) — the default mode.
+  const auto c = paper_cfg();
+  const auto counts = counts_of({{10, 5}});
+  const PackResult r = pack(counts, c);
+  EXPECT_EQ(r.result, 1u);
+  EXPECT_EQ(r.subresult, 0u);  // 10 + 5*2 = 20 <= 32 in-slot
+  verify_pack(counts, c, r);
+}
+
+TEST(Packer, Fig4StyleFullLine) {
+  // Eight units echoing the Fig. 4 example mix: write-1 currents
+  // 8,7,7,6,6,6,5,3 and small write-0s. With budget 32, write-1s take
+  // two write units (31 + 23) and write-0s hide in the interspaces.
+  const auto counts = counts_of({{8, 1},
+                                 {7, 1},
+                                 {7, 2},
+                                 {6, 2},
+                                 {6, 3},
+                                 {6, 2},
+                                 {5, 2},
+                                 {3, 5}});
+  const PackerConfig c = paper_cfg();
+  const PackResult r = pack(counts, c);
+  verify_pack(counts, c, r);
+  EXPECT_EQ(r.result, 2u);
+  EXPECT_EQ(r.subresult, 0u);
+  EXPECT_DOUBLE_EQ(r.write_unit_equiv(c.k), 2.0);
+  // Far better than 3-Stage-Write's 2.5 equivalent on the same data, and
+  // the FSMs never exceed the budget (verified above).
+}
+
+TEST(Packer, DecreasingOrderIsUsed) {
+  // First-fit-decreasing: biggest write-1 lands in write unit 0.
+  const auto counts = counts_of({{2, 0}, {30, 0}, {10, 0}});
+  const PackResult r = pack(counts, paper_cfg());
+  ASSERT_FALSE(r.write1_queue.empty());
+  EXPECT_EQ(r.write1_queue.front().unit, 1u);  // the 30-current unit
+  EXPECT_EQ(r.write1_queue.front().write_unit, 0u);
+  verify_pack(counts, paper_cfg(), r);
+}
+
+TEST(Packer, OversizeWrite1TakesDedicatedPasses) {
+  PackerConfig c = paper_cfg();
+  c.budget = 8;
+  const auto counts = counts_of({{20, 0}});  // 20 > 8: 3 passes
+  const PackResult r = pack(counts, c);
+  EXPECT_EQ(r.result, 3u);
+  EXPECT_EQ(r.write1_queue[0].passes, 3u);
+  verify_pack(counts, c, r);
+}
+
+TEST(Packer, OversizeWrite0TakesDedicatedTrailingSlots) {
+  PackerConfig c = paper_cfg();
+  c.budget = 4;
+  const auto counts = counts_of({{0, 6}});  // 12 current > 4: 3 passes
+  const PackResult r = pack(counts, c);
+  EXPECT_EQ(r.result, 0u);
+  EXPECT_EQ(r.subresult, 3u);
+  verify_pack(counts, c, r);
+}
+
+TEST(Packer, UtilizationBounded) {
+  const auto counts = counts_of({{8, 2}, {7, 1}, {6, 3}});
+  const PackResult r = pack(counts, paper_cfg());
+  const double u = r.power_utilization(paper_cfg().budget);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(Packer, InvalidConfigRejected) {
+  PackerConfig c;
+  c.budget = 0;
+  EXPECT_THROW(pack({}, c), ContractViolation);
+}
+
+// ------------------------------------------------------ randomized sweep --
+class PackerRandom : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PackerRandom, InvariantsHoldOnRandomLines) {
+  Rng rng(GetParam());
+  // Random geometry within realistic ranges.
+  PackerConfig c;
+  c.k = 1 + static_cast<u32>(rng.below(12));
+  c.l = 1 + static_cast<u32>(rng.below(3));
+  c.budget = 8 + static_cast<u32>(rng.below(250));
+  c.forbid_self_overlap = rng.chance(0.5);
+
+  const u32 units = 1 + static_cast<u32>(rng.below(16));
+  std::vector<UnitCounts> counts;
+  for (u32 i = 0; i < units; ++i) {
+    counts.push_back(UnitCounts{i, static_cast<u32>(rng.below(34)),
+                                static_cast<u32>(rng.below(34))});
+  }
+
+  const PackResult r = pack(counts, c);
+  verify_pack(counts, c, r);  // budget, uniqueness, self-overlap, powers
+
+  // Tetris can never need more serial write units for write-1s than one
+  // per nonzero unit (plus oversize passes).
+  u64 upper = 0;
+  for (const auto& uc : counts) {
+    if (uc.n1 > 0) upper += ceil_div(uc.n1, c.budget);
+  }
+  EXPECT_LE(r.result, upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PackerRandom,
+                         ::testing::Range<u64>(100, 200));
+
+}  // namespace
+}  // namespace tw::core

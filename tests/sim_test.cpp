@@ -1,0 +1,138 @@
+// Unit tests for the event-driven simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/sim/simulator.hpp"
+
+namespace tw::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTickPriorityOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(2); }, Priority::kCpu);
+  sim.schedule_at(5, [&] { order.push_back(1); },
+                  Priority::kDeviceComplete);
+  sim.schedule_at(5, [&] { order.push_back(3); }, Priority::kDefault);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTickSamePriorityFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CallbackSchedulesMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(Simulator, RunWithLimitStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  const u64 n = sim.run(50);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);  // advanced to the limit
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), ContractViolation);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(0, nullptr), ContractViolation);
+}
+
+TEST(Simulator, StepSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator sim;
+  sim.schedule_at(1, [] { FAIL() << "should not run"; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTick) {
+  Simulator sim;
+  Tick seen = kTickMax;
+  sim.schedule_at(25, [&] {
+    sim.schedule_in(0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 25u);
+}
+
+// ----------------------------------------------------------------- clock --
+TEST(Clock, TwoGigahertz) {
+  Clock c(500);  // 500 ps
+  EXPECT_DOUBLE_EQ(c.freq_ghz(), 2.0);
+  EXPECT_EQ(c.cycles(4), 2000u);
+  EXPECT_EQ(c.cycles_at(1999), 3u);
+  EXPECT_EQ(c.cycles_at(2000), 4u);
+  EXPECT_EQ(c.tick_of(4), 2000u);
+}
+
+TEST(Clock, NextEdge) {
+  Clock c(400);  // 2.5 GHz
+  EXPECT_EQ(c.next_edge(0), 0u);
+  EXPECT_EQ(c.next_edge(1), 400u);
+  EXPECT_EQ(c.next_edge(400), 400u);
+  EXPECT_EQ(c.next_edge(401), 800u);
+}
+
+TEST(Clock, MemoryBusClock400MHz) {
+  Clock c(2500);  // the paper's 400 MHz analysis clock
+  EXPECT_DOUBLE_EQ(c.freq_ghz(), 0.4);
+  EXPECT_EQ(c.cycles(41), 102'500u);  // 41-cycle analysis = 102.5 ns
+}
+
+}  // namespace
+}  // namespace tw::sim

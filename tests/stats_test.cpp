@@ -1,0 +1,194 @@
+// Unit tests for tw/stats: accumulators, histograms, registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "tw/common/rng.hpp"
+#include "tw/stats/accumulator.hpp"
+#include "tw/stats/counter.hpp"
+#include "tw/stats/histogram.hpp"
+#include "tw/stats/registry.hpp"
+
+namespace tw::stats {
+namespace {
+
+// ---------------------------------------------------------- accumulator --
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100.0;
+    whole.add(v);
+    (i < 500 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Accumulator, Reset) {
+  Accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+// ------------------------------------------------------------- counter --
+TEST(Counter, IncAndReset) {
+  Counter c;
+  c.inc();
+  c.inc(10);
+  EXPECT_EQ(c.value(), 11u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ----------------------------------------------------------- histogram --
+TEST(Histogram, EmptyIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  Log2Histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  EXPECT_EQ(h.total_count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Log2Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(rng.below(100000));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Histogram, PercentileBoundsWithinMinMax) {
+  Log2Histogram h;
+  for (u64 v : {100u, 200u, 300u, 4000u}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 4000.0);
+  EXPECT_LE(h.percentile(0.5), 4000.0);
+  EXPECT_GE(h.percentile(0.5), 100.0);
+}
+
+TEST(Histogram, MedianOfUniformRoughlyCenter) {
+  Log2Histogram h(16);
+  for (u64 v = 0; v < 10000; ++v) h.add(v);
+  EXPECT_NEAR(h.percentile(0.5), 5000.0, 5000.0 * 0.1);
+}
+
+TEST(Histogram, MeanExact) {
+  Log2Histogram h;
+  h.add(10, 3);
+  h.add(20, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.5);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflow) {
+  Log2Histogram h;
+  h.add(~u64{0} >> 1);
+  EXPECT_EQ(h.max(), ~u64{0} >> 1);
+  EXPECT_GT(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Log2Histogram h;
+  h.add(5);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, ResetClears) {
+  Log2Histogram h;
+  h.add(42);
+  h.reset();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// ------------------------------------------------------------ registry --
+TEST(Registry, SameNameSameObject) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, DistinctKindsDistinctNamespaces) {
+  Registry reg;
+  reg.counter("n");
+  reg.accumulator("n");
+  reg.histogram("n");
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Registry, ReportContainsEntries) {
+  Registry reg;
+  reg.counter("reads").inc(5);
+  reg.accumulator("lat").add(2.0);
+  std::ostringstream out;
+  reg.report(out, "sys.");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("sys.reads 5"), std::string::npos);
+  EXPECT_NE(s.find("sys.lat"), std::string::npos);
+}
+
+TEST(Registry, ResetAll) {
+  Registry reg;
+  reg.counter("c").inc(3);
+  reg.accumulator("a").add(1.0);
+  reg.histogram("h").add(10);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.accumulator("a").count(), 0u);
+  EXPECT_EQ(reg.histogram("h").total_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tw::stats

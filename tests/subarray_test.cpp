@@ -1,0 +1,163 @@
+// Tests for subarray-level parallelism (paper refs [13][15]): reads
+// proceed in one subarray while another subarray of the same bank is
+// being written; writes still serialize on the bank's charge pump.
+
+#include <gtest/gtest.h>
+
+#include "tw/core/factory.hpp"
+#include "tw/harness/experiment.hpp"
+
+namespace tw::mem {
+namespace {
+
+pcm::PcmConfig cfg_subarrays(u32 n) {
+  pcm::PcmConfig c = pcm::table2_config();
+  c.geometry.subarrays_per_bank = n;
+  return c;
+}
+
+MemoryRequest write_req(Addr addr, u64 word) {
+  MemoryRequest r;
+  r.addr = addr;
+  r.type = ReqType::kWrite;
+  pcm::LogicalLine d(8);
+  for (u32 i = 0; i < 8; ++i) d.set_word(i, word + i);
+  r.data = d;
+  return r;
+}
+
+MemoryRequest read_req(Addr addr) {
+  MemoryRequest r;
+  r.addr = addr;
+  r.type = ReqType::kRead;
+  return r;
+}
+
+// Table II: 8 banks, 64 B lines. Line index i maps to bank i%8; the row
+// is i/8 and the subarray (with S subarrays) is row % S. So line 0 is
+// (bank 0, subarray 0) and line 8 is (bank 0, subarray 1) when S >= 2.
+constexpr Addr kBank0Sub0 = 0 * 64;
+constexpr Addr kBank0Sub1 = 8 * 64;
+constexpr Addr kBank0Sub0Row2 = 16 * 64;
+
+TEST(AddressMapSubarrays, DecodesRowModulo) {
+  const AddressMap m(cfg_subarrays(2).geometry);
+  EXPECT_EQ(m.decode(kBank0Sub0).subarray, 0u);
+  EXPECT_EQ(m.decode(kBank0Sub1).subarray, 1u);
+  EXPECT_EQ(m.decode(kBank0Sub0Row2).subarray, 0u);
+  EXPECT_EQ(m.total_subarrays(), 16u);
+  EXPECT_EQ(m.flat_subarray(kBank0Sub1), 1u);
+}
+
+TEST(AddressMapSubarrays, SingleSubarrayIsBankGranular) {
+  const AddressMap m(cfg_subarrays(1).geometry);
+  EXPECT_EQ(m.total_subarrays(), 8u);
+  EXPECT_EQ(m.flat_subarray(kBank0Sub0), m.flat_subarray(kBank0Sub1));
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  stats::Registry reg;
+  std::unique_ptr<schemes::WriteScheme> scheme;
+  std::unique_ptr<Controller> ctl;
+
+  explicit Fixture(u32 subarrays, ControllerConfig ccfg = {}) {
+    ccfg.drain = ControllerConfig::DrainPolicy::kOpportunistic;
+    scheme = core::make_scheme(schemes::SchemeKind::kDcw,
+                               cfg_subarrays(subarrays));
+    ctl = std::make_unique<Controller>(sim, cfg_subarrays(subarrays), ccfg,
+                                       *scheme, reg);
+  }
+};
+
+TEST(Subarrays, ReadOverlapsWriteInOtherSubarray) {
+  Fixture f(2);
+  Tick read_done = 0;
+  f.ctl->set_read_callback(
+      [&](const MemoryRequest& r) { read_done = r.complete_tick; });
+  // Long DCW write (~3.5 us) to (bank0, sub0).
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 1)));
+  f.sim.run(ns(100));
+  // Read (bank0, sub1): must NOT wait for the write.
+  ASSERT_TRUE(f.ctl->enqueue(read_req(kBank0Sub1)));
+  f.sim.run();
+  EXPECT_LT(read_done, ns(300));
+}
+
+TEST(Subarrays, ReadToWrittenSubarrayStillWaits) {
+  Fixture f(2);
+  Tick read_done = 0;
+  f.ctl->set_read_callback(
+      [&](const MemoryRequest& r) { read_done = r.complete_tick; });
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 1)));
+  f.sim.run(ns(100));
+  // Same subarray (row 2 of subarray 0): waits for the full write.
+  ASSERT_TRUE(f.ctl->enqueue(read_req(kBank0Sub0Row2)));
+  f.sim.run();
+  EXPECT_GT(read_done, ns(3000));
+}
+
+TEST(Subarrays, WritesStillSerializePerBank) {
+  Fixture f(2);
+  std::vector<Tick> done;
+  f.ctl->set_write_callback(
+      [&](const MemoryRequest& r) { done.push_back(r.complete_tick); });
+  // Two writes to different subarrays of bank 0: the charge pump
+  // serializes them.
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 1)));
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub1, 2)));
+  f.sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GE(done[1], 2 * ns(3490));
+}
+
+TEST(Subarrays, SingleSubarrayMatchesLegacyBankBlocking) {
+  Fixture f(1);
+  Tick read_done = 0;
+  f.ctl->set_read_callback(
+      [&](const MemoryRequest& r) { read_done = r.complete_tick; });
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 1)));
+  f.sim.run(ns(100));
+  ASSERT_TRUE(f.ctl->enqueue(read_req(kBank0Sub1)));  // same bank
+  f.sim.run();
+  EXPECT_GT(read_done, ns(3000));  // blocked, as before subarrays existed
+}
+
+TEST(Subarrays, PausingTargetsOnlyTheBlockingSubarray) {
+  ControllerConfig ccfg;
+  ccfg.write_pausing = true;
+  Fixture f(2, ccfg);
+  Tick read_done = 0;
+  f.ctl->set_read_callback(
+      [&](const MemoryRequest& r) { read_done = r.complete_tick; });
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 1)));
+  f.sim.run(ns(100));
+  // Read to the *other* subarray proceeds without pausing anything.
+  ASSERT_TRUE(f.ctl->enqueue(read_req(kBank0Sub1)));
+  f.sim.run();
+  EXPECT_LT(read_done, ns(300));
+  EXPECT_EQ(f.reg.counter("mem.write_pauses").value(), 0u);
+  // Read to the written subarray pauses the write.
+  ASSERT_TRUE(f.ctl->enqueue(write_req(kBank0Sub0, 5)));
+  f.sim.run(f.sim.now() + ns(100));  // let the write start
+  ASSERT_TRUE(f.ctl->enqueue(read_req(kBank0Sub0Row2)));
+  f.sim.run();
+  EXPECT_GT(f.reg.counter("mem.write_pauses").value(), 0u);
+}
+
+TEST(Subarrays, SystemLevelReadLatencyImproves) {
+  const auto& vips = workload::profile_by_name("vips");
+  harness::SystemConfig sys;
+  sys.instructions_per_core = 15'000;
+  const auto one =
+      harness::run_system(sys, vips, schemes::SchemeKind::kDcw);
+  sys.pcm.geometry.subarrays_per_bank = 4;
+  const auto four =
+      harness::run_system(sys, vips, schemes::SchemeKind::kDcw);
+  ASSERT_TRUE(one.completed);
+  ASSERT_TRUE(four.completed);
+  EXPECT_LT(four.read_latency_ns, one.read_latency_ns);
+}
+
+}  // namespace
+}  // namespace tw::mem
