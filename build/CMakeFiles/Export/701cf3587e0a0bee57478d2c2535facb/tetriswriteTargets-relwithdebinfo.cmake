@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "tw::tw_common" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_common )
+list(APPEND _cmake_import_check_files_for_tw::tw_common "${_IMPORT_PREFIX}/lib/libtw_common.a" )
+
+# Import target "tw::tw_stats" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_stats )
+list(APPEND _cmake_import_check_files_for_tw::tw_stats "${_IMPORT_PREFIX}/lib/libtw_stats.a" )
+
+# Import target "tw::tw_sim" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_sim )
+list(APPEND _cmake_import_check_files_for_tw::tw_sim "${_IMPORT_PREFIX}/lib/libtw_sim.a" )
+
+# Import target "tw::tw_pcm" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_pcm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_pcm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_pcm.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_pcm )
+list(APPEND _cmake_import_check_files_for_tw::tw_pcm "${_IMPORT_PREFIX}/lib/libtw_pcm.a" )
+
+# Import target "tw::tw_schemes" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_schemes APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_schemes PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_schemes.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_schemes )
+list(APPEND _cmake_import_check_files_for_tw::tw_schemes "${_IMPORT_PREFIX}/lib/libtw_schemes.a" )
+
+# Import target "tw::tw_core" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_core )
+list(APPEND _cmake_import_check_files_for_tw::tw_core "${_IMPORT_PREFIX}/lib/libtw_core.a" )
+
+# Import target "tw::tw_mem" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_mem APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_mem PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_mem.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_mem )
+list(APPEND _cmake_import_check_files_for_tw::tw_mem "${_IMPORT_PREFIX}/lib/libtw_mem.a" )
+
+# Import target "tw::tw_cache" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_cache APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_cache PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_cache.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_cache )
+list(APPEND _cmake_import_check_files_for_tw::tw_cache "${_IMPORT_PREFIX}/lib/libtw_cache.a" )
+
+# Import target "tw::tw_cpu" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_cpu APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_cpu PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_cpu.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_cpu )
+list(APPEND _cmake_import_check_files_for_tw::tw_cpu "${_IMPORT_PREFIX}/lib/libtw_cpu.a" )
+
+# Import target "tw::tw_workload" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_workload )
+list(APPEND _cmake_import_check_files_for_tw::tw_workload "${_IMPORT_PREFIX}/lib/libtw_workload.a" )
+
+# Import target "tw::tw_harness" for configuration "RelWithDebInfo"
+set_property(TARGET tw::tw_harness APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(tw::tw_harness PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libtw_harness.a"
+  )
+
+list(APPEND _cmake_import_check_targets tw::tw_harness )
+list(APPEND _cmake_import_check_files_for_tw::tw_harness "${_IMPORT_PREFIX}/lib/libtw_harness.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_asymmetry.dir/ablation_asymmetry.cpp.o"
+  "CMakeFiles/ablation_asymmetry.dir/ablation_asymmetry.cpp.o.d"
+  "ablation_asymmetry"
+  "ablation_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

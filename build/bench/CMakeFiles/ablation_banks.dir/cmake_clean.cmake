@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_banks.dir/ablation_banks.cpp.o"
+  "CMakeFiles/ablation_banks.dir/ablation_banks.cpp.o.d"
+  "ablation_banks"
+  "ablation_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

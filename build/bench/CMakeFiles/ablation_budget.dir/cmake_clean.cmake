@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_budget.dir/ablation_budget.cpp.o"
+  "CMakeFiles/ablation_budget.dir/ablation_budget.cpp.o.d"
+  "ablation_budget"
+  "ablation_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

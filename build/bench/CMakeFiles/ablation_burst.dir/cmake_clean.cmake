@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst.dir/ablation_burst.cpp.o"
+  "CMakeFiles/ablation_burst.dir/ablation_burst.cpp.o.d"
+  "ablation_burst"
+  "ablation_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

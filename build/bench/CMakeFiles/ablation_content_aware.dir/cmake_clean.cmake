@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_content_aware.dir/ablation_content_aware.cpp.o"
+  "CMakeFiles/ablation_content_aware.dir/ablation_content_aware.cpp.o.d"
+  "ablation_content_aware"
+  "ablation_content_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_content_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

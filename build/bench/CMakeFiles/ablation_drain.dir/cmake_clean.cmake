@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drain.dir/ablation_drain.cpp.o"
+  "CMakeFiles/ablation_drain.dir/ablation_drain.cpp.o.d"
+  "ablation_drain"
+  "ablation_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linesize.dir/ablation_linesize.cpp.o"
+  "CMakeFiles/ablation_linesize.dir/ablation_linesize.cpp.o.d"
+  "ablation_linesize"
+  "ablation_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mlc.dir/ablation_mlc.cpp.o"
+  "CMakeFiles/ablation_mlc.dir/ablation_mlc.cpp.o.d"
+  "ablation_mlc"
+  "ablation_mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pausing.dir/ablation_pausing.cpp.o"
+  "CMakeFiles/ablation_pausing.dir/ablation_pausing.cpp.o.d"
+  "ablation_pausing"
+  "ablation_pausing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pausing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

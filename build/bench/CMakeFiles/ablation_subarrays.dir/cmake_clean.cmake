@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subarrays.dir/ablation_subarrays.cpp.o"
+  "CMakeFiles/ablation_subarrays.dir/ablation_subarrays.cpp.o.d"
+  "ablation_subarrays"
+  "ablation_subarrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subarrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

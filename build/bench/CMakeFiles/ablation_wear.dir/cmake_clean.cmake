@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wear.dir/ablation_wear.cpp.o"
+  "CMakeFiles/ablation_wear.dir/ablation_wear.cpp.o.d"
+  "ablation_wear"
+  "ablation_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bit_stats.dir/fig03_bit_stats.cpp.o"
+  "CMakeFiles/fig03_bit_stats.dir/fig03_bit_stats.cpp.o.d"
+  "fig03_bit_stats"
+  "fig03_bit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

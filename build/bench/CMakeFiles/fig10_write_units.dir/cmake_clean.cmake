@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_write_units.dir/fig10_write_units.cpp.o"
+  "CMakeFiles/fig10_write_units.dir/fig10_write_units.cpp.o.d"
+  "fig10_write_units"
+  "fig10_write_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_write_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

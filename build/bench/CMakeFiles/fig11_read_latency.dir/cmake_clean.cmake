@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_read_latency.dir/fig11_read_latency.cpp.o"
+  "CMakeFiles/fig11_read_latency.dir/fig11_read_latency.cpp.o.d"
+  "fig11_read_latency"
+  "fig11_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

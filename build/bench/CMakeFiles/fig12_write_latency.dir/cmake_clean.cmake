@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_write_latency.dir/fig12_write_latency.cpp.o"
+  "CMakeFiles/fig12_write_latency.dir/fig12_write_latency.cpp.o.d"
+  "fig12_write_latency"
+  "fig12_write_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_write_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ipc.dir/fig13_ipc.cpp.o"
+  "CMakeFiles/fig13_ipc.dir/fig13_ipc.cpp.o.d"
+  "fig13_ipc"
+  "fig13_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_running_time.dir/fig14_running_time.cpp.o"
+  "CMakeFiles/fig14_running_time.dir/fig14_running_time.cpp.o.d"
+  "fig14_running_time"
+  "fig14_running_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_running_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kernel.dir/micro_kernel.cpp.o"
+  "CMakeFiles/micro_kernel.dir/micro_kernel.cpp.o.d"
+  "micro_kernel"
+  "micro_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

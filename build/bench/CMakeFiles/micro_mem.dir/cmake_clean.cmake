@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mem.dir/micro_mem.cpp.o"
+  "CMakeFiles/micro_mem.dir/micro_mem.cpp.o.d"
+  "micro_mem"
+  "micro_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

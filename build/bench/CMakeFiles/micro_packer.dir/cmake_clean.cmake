@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_packer.dir/micro_packer.cpp.o"
+  "CMakeFiles/micro_packer.dir/micro_packer.cpp.o.d"
+  "micro_packer"
+  "micro_packer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_packer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_schemes.dir/micro_schemes.cpp.o"
+  "CMakeFiles/micro_schemes.dir/micro_schemes.cpp.o.d"
+  "micro_schemes"
+  "micro_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

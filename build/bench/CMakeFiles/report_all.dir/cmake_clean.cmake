@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_all.dir/report_all.cpp.o"
+  "CMakeFiles/report_all.dir/report_all.cpp.o.d"
+  "report_all"
+  "report_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for report_all.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_system_sim.dir/full_system_sim.cpp.o"
+  "CMakeFiles/full_system_sim.dir/full_system_sim.cpp.o.d"
+  "full_system_sim"
+  "full_system_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_system_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

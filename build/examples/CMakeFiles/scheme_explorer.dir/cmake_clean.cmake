@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_explorer.dir/scheme_explorer.cpp.o"
+  "CMakeFiles/scheme_explorer.dir/scheme_explorer.cpp.o.d"
+  "scheme_explorer"
+  "scheme_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_diagram.dir/timing_diagram.cpp.o"
+  "CMakeFiles/timing_diagram.dir/timing_diagram.cpp.o.d"
+  "timing_diagram"
+  "timing_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

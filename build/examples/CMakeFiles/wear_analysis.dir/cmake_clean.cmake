@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_analysis.dir/wear_analysis.cpp.o"
+  "CMakeFiles/wear_analysis.dir/wear_analysis.cpp.o.d"
+  "wear_analysis"
+  "wear_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tw/cache/cache.cpp" "src/tw/cache/CMakeFiles/tw_cache.dir/cache.cpp.o" "gcc" "src/tw/cache/CMakeFiles/tw_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/tw/cache/hierarchy.cpp" "src/tw/cache/CMakeFiles/tw_cache.dir/hierarchy.cpp.o" "gcc" "src/tw/cache/CMakeFiles/tw_cache.dir/hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tw/common/CMakeFiles/tw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/stats/CMakeFiles/tw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_cache.dir/cache.cpp.o"
+  "CMakeFiles/tw_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/tw_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/tw_cache.dir/hierarchy.cpp.o.d"
+  "libtw_cache.a"
+  "libtw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tw/common/csv.cpp" "src/tw/common/CMakeFiles/tw_common.dir/csv.cpp.o" "gcc" "src/tw/common/CMakeFiles/tw_common.dir/csv.cpp.o.d"
+  "/root/repo/src/tw/common/parallel.cpp" "src/tw/common/CMakeFiles/tw_common.dir/parallel.cpp.o" "gcc" "src/tw/common/CMakeFiles/tw_common.dir/parallel.cpp.o.d"
+  "/root/repo/src/tw/common/strings.cpp" "src/tw/common/CMakeFiles/tw_common.dir/strings.cpp.o" "gcc" "src/tw/common/CMakeFiles/tw_common.dir/strings.cpp.o.d"
+  "/root/repo/src/tw/common/svg.cpp" "src/tw/common/CMakeFiles/tw_common.dir/svg.cpp.o" "gcc" "src/tw/common/CMakeFiles/tw_common.dir/svg.cpp.o.d"
+  "/root/repo/src/tw/common/table.cpp" "src/tw/common/CMakeFiles/tw_common.dir/table.cpp.o" "gcc" "src/tw/common/CMakeFiles/tw_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_common.dir/csv.cpp.o"
+  "CMakeFiles/tw_common.dir/csv.cpp.o.d"
+  "CMakeFiles/tw_common.dir/parallel.cpp.o"
+  "CMakeFiles/tw_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/tw_common.dir/strings.cpp.o"
+  "CMakeFiles/tw_common.dir/strings.cpp.o.d"
+  "CMakeFiles/tw_common.dir/svg.cpp.o"
+  "CMakeFiles/tw_common.dir/svg.cpp.o.d"
+  "CMakeFiles/tw_common.dir/table.cpp.o"
+  "CMakeFiles/tw_common.dir/table.cpp.o.d"
+  "libtw_common.a"
+  "libtw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tw/core/datapath.cpp" "src/tw/core/CMakeFiles/tw_core.dir/datapath.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/datapath.cpp.o.d"
+  "/root/repo/src/tw/core/factory.cpp" "src/tw/core/CMakeFiles/tw_core.dir/factory.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/factory.cpp.o.d"
+  "/root/repo/src/tw/core/fsm.cpp" "src/tw/core/CMakeFiles/tw_core.dir/fsm.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/fsm.cpp.o.d"
+  "/root/repo/src/tw/core/hw_executor.cpp" "src/tw/core/CMakeFiles/tw_core.dir/hw_executor.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/hw_executor.cpp.o.d"
+  "/root/repo/src/tw/core/packer.cpp" "src/tw/core/CMakeFiles/tw_core.dir/packer.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/packer.cpp.o.d"
+  "/root/repo/src/tw/core/read_stage.cpp" "src/tw/core/CMakeFiles/tw_core.dir/read_stage.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/read_stage.cpp.o.d"
+  "/root/repo/src/tw/core/tetris_scheme.cpp" "src/tw/core/CMakeFiles/tw_core.dir/tetris_scheme.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/tetris_scheme.cpp.o.d"
+  "/root/repo/src/tw/core/write_driver.cpp" "src/tw/core/CMakeFiles/tw_core.dir/write_driver.cpp.o" "gcc" "src/tw/core/CMakeFiles/tw_core.dir/write_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tw/common/CMakeFiles/tw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/pcm/CMakeFiles/tw_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/schemes/CMakeFiles/tw_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/stats/CMakeFiles/tw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_core.dir/datapath.cpp.o"
+  "CMakeFiles/tw_core.dir/datapath.cpp.o.d"
+  "CMakeFiles/tw_core.dir/factory.cpp.o"
+  "CMakeFiles/tw_core.dir/factory.cpp.o.d"
+  "CMakeFiles/tw_core.dir/fsm.cpp.o"
+  "CMakeFiles/tw_core.dir/fsm.cpp.o.d"
+  "CMakeFiles/tw_core.dir/hw_executor.cpp.o"
+  "CMakeFiles/tw_core.dir/hw_executor.cpp.o.d"
+  "CMakeFiles/tw_core.dir/packer.cpp.o"
+  "CMakeFiles/tw_core.dir/packer.cpp.o.d"
+  "CMakeFiles/tw_core.dir/read_stage.cpp.o"
+  "CMakeFiles/tw_core.dir/read_stage.cpp.o.d"
+  "CMakeFiles/tw_core.dir/tetris_scheme.cpp.o"
+  "CMakeFiles/tw_core.dir/tetris_scheme.cpp.o.d"
+  "CMakeFiles/tw_core.dir/write_driver.cpp.o"
+  "CMakeFiles/tw_core.dir/write_driver.cpp.o.d"
+  "libtw_core.a"
+  "libtw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

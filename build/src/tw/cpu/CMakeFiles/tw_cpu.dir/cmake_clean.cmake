@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_cpu.dir/core.cpp.o"
+  "CMakeFiles/tw_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/tw_cpu.dir/multicore.cpp.o"
+  "CMakeFiles/tw_cpu.dir/multicore.cpp.o.d"
+  "libtw_cpu.a"
+  "libtw_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

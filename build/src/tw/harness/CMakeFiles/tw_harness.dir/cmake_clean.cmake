@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_harness.dir/config_file.cpp.o"
+  "CMakeFiles/tw_harness.dir/config_file.cpp.o.d"
+  "CMakeFiles/tw_harness.dir/experiment.cpp.o"
+  "CMakeFiles/tw_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/tw_harness.dir/figure.cpp.o"
+  "CMakeFiles/tw_harness.dir/figure.cpp.o.d"
+  "CMakeFiles/tw_harness.dir/repeated.cpp.o"
+  "CMakeFiles/tw_harness.dir/repeated.cpp.o.d"
+  "libtw_harness.a"
+  "libtw_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tw/mem/controller.cpp" "src/tw/mem/CMakeFiles/tw_mem.dir/controller.cpp.o" "gcc" "src/tw/mem/CMakeFiles/tw_mem.dir/controller.cpp.o.d"
+  "/root/repo/src/tw/mem/data_store.cpp" "src/tw/mem/CMakeFiles/tw_mem.dir/data_store.cpp.o" "gcc" "src/tw/mem/CMakeFiles/tw_mem.dir/data_store.cpp.o.d"
+  "/root/repo/src/tw/mem/start_gap.cpp" "src/tw/mem/CMakeFiles/tw_mem.dir/start_gap.cpp.o" "gcc" "src/tw/mem/CMakeFiles/tw_mem.dir/start_gap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tw/common/CMakeFiles/tw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/stats/CMakeFiles/tw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/sim/CMakeFiles/tw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/pcm/CMakeFiles/tw_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/schemes/CMakeFiles/tw_schemes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_mem.dir/controller.cpp.o"
+  "CMakeFiles/tw_mem.dir/controller.cpp.o.d"
+  "CMakeFiles/tw_mem.dir/data_store.cpp.o"
+  "CMakeFiles/tw_mem.dir/data_store.cpp.o.d"
+  "CMakeFiles/tw_mem.dir/start_gap.cpp.o"
+  "CMakeFiles/tw_mem.dir/start_gap.cpp.o.d"
+  "libtw_mem.a"
+  "libtw_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_pcm.dir/array.cpp.o"
+  "CMakeFiles/tw_pcm.dir/array.cpp.o.d"
+  "CMakeFiles/tw_pcm.dir/mlc.cpp.o"
+  "CMakeFiles/tw_pcm.dir/mlc.cpp.o.d"
+  "CMakeFiles/tw_pcm.dir/params.cpp.o"
+  "CMakeFiles/tw_pcm.dir/params.cpp.o.d"
+  "libtw_pcm.a"
+  "libtw_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

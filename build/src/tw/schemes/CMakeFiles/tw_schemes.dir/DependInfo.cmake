@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tw/schemes/conventional.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/conventional.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/conventional.cpp.o.d"
+  "/root/repo/src/tw/schemes/dcw.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/dcw.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/dcw.cpp.o.d"
+  "/root/repo/src/tw/schemes/factory.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/factory.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/factory.cpp.o.d"
+  "/root/repo/src/tw/schemes/flip_n_write.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/flip_n_write.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/flip_n_write.cpp.o.d"
+  "/root/repo/src/tw/schemes/prep.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/prep.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/prep.cpp.o.d"
+  "/root/repo/src/tw/schemes/preset.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/preset.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/preset.cpp.o.d"
+  "/root/repo/src/tw/schemes/three_stage.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/three_stage.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/three_stage.cpp.o.d"
+  "/root/repo/src/tw/schemes/two_stage.cpp" "src/tw/schemes/CMakeFiles/tw_schemes.dir/two_stage.cpp.o" "gcc" "src/tw/schemes/CMakeFiles/tw_schemes.dir/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tw/common/CMakeFiles/tw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/pcm/CMakeFiles/tw_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/stats/CMakeFiles/tw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_schemes.dir/conventional.cpp.o"
+  "CMakeFiles/tw_schemes.dir/conventional.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/dcw.cpp.o"
+  "CMakeFiles/tw_schemes.dir/dcw.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/factory.cpp.o"
+  "CMakeFiles/tw_schemes.dir/factory.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/flip_n_write.cpp.o"
+  "CMakeFiles/tw_schemes.dir/flip_n_write.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/prep.cpp.o"
+  "CMakeFiles/tw_schemes.dir/prep.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/preset.cpp.o"
+  "CMakeFiles/tw_schemes.dir/preset.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/three_stage.cpp.o"
+  "CMakeFiles/tw_schemes.dir/three_stage.cpp.o.d"
+  "CMakeFiles/tw_schemes.dir/two_stage.cpp.o"
+  "CMakeFiles/tw_schemes.dir/two_stage.cpp.o.d"
+  "libtw_schemes.a"
+  "libtw_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tw_sim.dir/simulator.cpp.o.d"
+  "libtw_sim.a"
+  "libtw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tw_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tw_stats.dir/registry.cpp.o"
+  "CMakeFiles/tw_stats.dir/registry.cpp.o.d"
+  "libtw_stats.a"
+  "libtw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_workload.dir/cache_filtered.cpp.o"
+  "CMakeFiles/tw_workload.dir/cache_filtered.cpp.o.d"
+  "CMakeFiles/tw_workload.dir/generator.cpp.o"
+  "CMakeFiles/tw_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/tw_workload.dir/profiles.cpp.o"
+  "CMakeFiles/tw_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/tw_workload.dir/replay.cpp.o"
+  "CMakeFiles/tw_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/tw_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/tw_workload.dir/trace_io.cpp.o.d"
+  "libtw_workload.a"
+  "libtw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtw_workload.a"
+)

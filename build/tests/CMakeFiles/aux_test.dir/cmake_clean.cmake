@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_test.dir/aux_test.cpp.o"
+  "CMakeFiles/aux_test.dir/aux_test.cpp.o.d"
+  "aux_test"
+  "aux_test.pdb"
+  "aux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

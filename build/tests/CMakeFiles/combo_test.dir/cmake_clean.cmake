@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combo_test.dir/combo_test.cpp.o"
+  "CMakeFiles/combo_test.dir/combo_test.cpp.o.d"
+  "combo_test"
+  "combo_test.pdb"
+  "combo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_test.dir/features_test.cpp.o"
+  "CMakeFiles/features_test.dir/features_test.cpp.o.d"
+  "features_test"
+  "features_test.pdb"
+  "features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_executor_test.dir/hw_executor_test.cpp.o"
+  "CMakeFiles/hw_executor_test.dir/hw_executor_test.cpp.o.d"
+  "hw_executor_test"
+  "hw_executor_test.pdb"
+  "hw_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

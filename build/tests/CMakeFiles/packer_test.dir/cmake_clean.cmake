@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packer_test.dir/packer_test.cpp.o"
+  "CMakeFiles/packer_test.dir/packer_test.cpp.o.d"
+  "packer_test"
+  "packer_test.pdb"
+  "packer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

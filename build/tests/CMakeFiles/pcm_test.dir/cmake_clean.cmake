@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcm_test.dir/pcm_test.cpp.o"
+  "CMakeFiles/pcm_test.dir/pcm_test.cpp.o.d"
+  "pcm_test"
+  "pcm_test.pdb"
+  "pcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

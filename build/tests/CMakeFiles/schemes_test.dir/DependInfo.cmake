@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schemes_test.cpp" "tests/CMakeFiles/schemes_test.dir/schemes_test.cpp.o" "gcc" "tests/CMakeFiles/schemes_test.dir/schemes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tw/harness/CMakeFiles/tw_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/core/CMakeFiles/tw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/cpu/CMakeFiles/tw_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/workload/CMakeFiles/tw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/mem/CMakeFiles/tw_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/sim/CMakeFiles/tw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/schemes/CMakeFiles/tw_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/pcm/CMakeFiles/tw_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/cache/CMakeFiles/tw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/stats/CMakeFiles/tw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tw/common/CMakeFiles/tw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemes_test.dir/schemes_test.cpp.o"
+  "CMakeFiles/schemes_test.dir/schemes_test.cpp.o.d"
+  "schemes_test"
+  "schemes_test.pdb"
+  "schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

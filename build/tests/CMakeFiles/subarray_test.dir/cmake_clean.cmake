@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subarray_test.dir/subarray_test.cpp.o"
+  "CMakeFiles/subarray_test.dir/subarray_test.cpp.o.d"
+  "subarray_test"
+  "subarray_test.pdb"
+  "subarray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_scheme_test.dir/tetris_scheme_test.cpp.o"
+  "CMakeFiles/tetris_scheme_test.dir/tetris_scheme_test.cpp.o.d"
+  "tetris_scheme_test"
+  "tetris_scheme_test.pdb"
+  "tetris_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/pcm_test[1]_include.cmake")
+include("/root/repo/build/tests/schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/packer_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_test[1]_include.cmake")
+include("/root/repo/build/tests/tetris_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/subarray_test[1]_include.cmake")
+include("/root/repo/build/tests/aux_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/combo_test[1]_include.cmake")
