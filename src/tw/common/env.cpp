@@ -1,0 +1,13 @@
+#include "tw/common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tw {
+
+bool verify_env_enabled() {
+  const char* v = std::getenv("TW_VERIFY");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace tw

@@ -1,0 +1,16 @@
+#pragma once
+// Runtime feature flags read from the environment.
+//
+// TW_VERIFY=1 turns on invariant mode across the system: production
+// schemes self-check every schedule (verify_pack + FSM re-execution), the
+// hardware executor cross-checks pulse exclusivity, and the verify
+// subsystem's monitors are armed by the components that own them. The
+// flag is read per query (getenv is cheap next to a line write) so tests
+// can toggle it.
+
+namespace tw {
+
+/// True when TW_VERIFY is set to a non-empty value other than "0".
+bool verify_env_enabled();
+
+}  // namespace tw

@@ -36,6 +36,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = nullptr;
+    std::swap(e, first_error_);
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -49,10 +54,19 @@ void ThreadPool::worker_loop() {
       jobs_.pop();
       ++active_;
     }
-    job();
+    // A throwing job must not unwind the worker (std::terminate) or leak
+    // `active_` (wait_idle would deadlock): capture the first exception
+    // and report it from wait_idle.
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mu_);
       --active_;
+      if (error && !first_error_) first_error_ = error;
       if (jobs_.empty() && active_ == 0) cv_idle_.notify_all();
     }
   }

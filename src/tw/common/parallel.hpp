@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,7 +30,9 @@ class ThreadPool {
   /// Enqueue a job. Thread-safe.
   void submit(std::function<void()> job);
 
-  /// Block until all submitted jobs have finished.
+  /// Block until all submitted jobs have finished. If any job threw, the
+  /// first exception (in completion order) is rethrown here and the
+  /// pool's error state is cleared; the pool stays usable afterwards.
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -44,6 +47,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Run fn(i) for i in [0, n) across a transient pool of worker threads.

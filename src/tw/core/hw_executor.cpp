@@ -1,11 +1,40 @@
 #include "tw/core/hw_executor.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "tw/common/assert.hpp"
+#include "tw/common/env.hpp"
 #include "tw/core/write_driver.hpp"
 
 namespace tw::core {
+namespace {
+
+/// TW_VERIFY-mode internal observer: records which pass drove each cell
+/// of one line write and fails if both FSMs ever touch the same cell
+/// (they own disjoint bit sets by construction of the PROG-enable gating;
+/// this proves it on the real pulse stream).
+class ExclusivityCheck final : public PulseObserver {
+ public:
+  ExclusivityCheck(u64 base_bit, u64 span, PulseObserver* chained)
+      : base_(base_bit), seen_(span, 0), chained_(chained) {}
+
+  void on_pulse(u64 bit, WritePass pass, pcm::ProgramResult r) override {
+    TW_ASSERT(bit >= base_ && bit - base_ < seen_.size());
+    const u8 flag = pass == WritePass::kSet ? 1u : 2u;
+    u8& cell = seen_[bit - base_];
+    TW_ASSERT((cell & ~flag) == 0);  // both FSMs drove one cell
+    cell |= flag;
+    if (chained_) chained_->on_pulse(bit, pass, r);
+  }
+
+ private:
+  u64 base_;
+  std::vector<u8> seen_;
+  PulseObserver* chained_;
+};
+
+}  // namespace
 
 pcm::LineBuf HwExecutor::snapshot(const pcm::PcmArray& array,
                                   u64 base_bit) const {
@@ -37,6 +66,16 @@ HwWriteResult HwExecutor::write_line(pcm::PcmArray& array, u64 base_bit,
 
   HwWriteResult result;
 
+  // Verify hook layer: the installed observer sees every pulse; under
+  // TW_VERIFY=1 an exclusivity checker is spliced in front of it.
+  PulseObserver* observer = observer_;
+  std::unique_ptr<ExclusivityCheck> exclusivity;
+  if (verify_env_enabled()) {
+    exclusivity = std::make_unique<ExclusivityCheck>(
+        base_bit, static_cast<u64>(units) * (bits + 1), observer_);
+    observer = exclusivity.get();
+  }
+
   // Read stage: sense the array (the read buffer of Fig. 6).
   const pcm::LineBuf before = snapshot(array, base_bit);
   result.analysis = scheme_.analyze(before, next);
@@ -66,11 +105,14 @@ HwWriteResult HwExecutor::write_line(pcm::PcmArray& array, u64 base_bit,
     const WritePass pass =
         e.fsm == 1 ? WritePass::kSet : WritePass::kReset;
     const BitTransitions t = drive_pass(array, base, before.cell(u),
-                                        plan.new_cells, bits, pass);
+                                        plan.new_cells, bits, pass,
+                                        observer);
     result.pulses.sets += t.sets;
     result.pulses.resets += t.resets;
     if (plan.tag_changed && plan.tag_to_one == (pass == WritePass::kSet)) {
-      array.program(base + bits, plan.tag_to_one);
+      const pcm::ProgramResult pr =
+          array.program(base + bits, plan.tag_to_one);
+      if (observer) observer->on_pulse(base + bits, pass, pr);
       if (plan.tag_to_one) {
         ++result.pulses.sets;
       } else {

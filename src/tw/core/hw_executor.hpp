@@ -13,6 +13,7 @@
 
 #include "tw/core/fsm.hpp"
 #include "tw/core/tetris_scheme.hpp"
+#include "tw/core/write_driver.hpp"
 #include "tw/pcm/array.hpp"
 
 namespace tw::core {
@@ -33,6 +34,14 @@ class HwExecutor {
   /// starting at base_bit for each line written.
   explicit HwExecutor(const TetrisScheme& scheme) : scheme_(scheme) {}
 
+  /// Install (or clear) a pulse observer forwarded to every write-driver
+  /// pass and tag-cell program — the verify subsystem's hook point.
+  /// Independent of the observer, TW_VERIFY=1 arms an internal check
+  /// that no cell is driven by both FSM passes within one line write.
+  void set_pulse_observer(PulseObserver* observer) {
+    observer_ = observer;
+  }
+
   /// Read the current logical line content from the array.
   pcm::LogicalLine read_line(const pcm::PcmArray& array,
                              u64 base_bit) const;
@@ -47,6 +56,7 @@ class HwExecutor {
   pcm::LineBuf snapshot(const pcm::PcmArray& array, u64 base_bit) const;
 
   const TetrisScheme& scheme_;
+  PulseObserver* observer_ = nullptr;
 };
 
 }  // namespace tw::core

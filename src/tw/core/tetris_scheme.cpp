@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tw/common/env.hpp"
 #include "tw/core/fsm.hpp"
 
 namespace tw::core {
@@ -32,7 +33,11 @@ ChipWorst worst_chip_demand(u64 old_cells, u64 new_cells, u32 unit_bits,
 }  // namespace
 
 TetrisScheme::TetrisScheme(const pcm::PcmConfig& cfg, TetrisOptions opts)
-    : WriteScheme(cfg), opts_(opts) {}
+    : WriteScheme(cfg), opts_(opts) {
+  // TW_VERIFY=1 invariant mode: every production schedule is re-verified
+  // (verify_pack) and re-executed through the FSM model on every write.
+  if (verify_env_enabled()) opts_.self_check = true;
+}
 
 PackerConfig TetrisScheme::make_packer_config() const {
   PackerConfig p;

@@ -51,6 +51,10 @@ class TetrisScheme final : public schemes::WriteScheme {
   schemes::SchemeKind kind() const override {
     return schemes::SchemeKind::kTetris;
   }
+  schemes::WriteSemantics semantics() const override {
+    return {schemes::FlipCriterion::kHamming,
+            schemes::PulsePolicy::kChangedCells, true};
+  }
 
   schemes::ServicePlan plan_write(
       pcm::LineBuf& line, const pcm::LogicalLine& next) const override;

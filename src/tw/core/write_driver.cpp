@@ -5,7 +5,8 @@
 namespace tw::core {
 
 BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
-                          u64 new_word, u32 bits, WritePass pass) {
+                          u64 new_word, u32 bits, WritePass pass,
+                          PulseObserver* observer) {
   TW_EXPECTS(bits >= 1 && bits <= 64);
   const u64 mask = low_mask(bits);
   old_word &= mask;
@@ -21,8 +22,9 @@ BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
   for (u32 i = 0; i < bits; ++i) {
     if (!get_bit(drive, i)) continue;
     const bool value = pass == WritePass::kSet;
-    if (array.program(base_bit + i, value) == pcm::ProgramResult::kWornOut)
-      continue;
+    const pcm::ProgramResult r = array.program(base_bit + i, value);
+    if (observer) observer->on_pulse(base_bit + i, pass, r);
+    if (r == pcm::ProgramResult::kWornOut) continue;
     if (value) {
       ++t.sets;
     } else {
@@ -33,11 +35,11 @@ BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
 }
 
 BitTransitions drive_unit(pcm::PcmArray& array, u64 base_bit, u64 old_word,
-                          u64 new_word, u32 bits) {
+                          u64 new_word, u32 bits, PulseObserver* observer) {
   BitTransitions t = drive_pass(array, base_bit, old_word, new_word, bits,
-                                WritePass::kSet);
+                                WritePass::kSet, observer);
   const BitTransitions r = drive_pass(array, base_bit, old_word, new_word,
-                                      bits, WritePass::kReset);
+                                      bits, WritePass::kReset, observer);
   t.sets += r.sets;
   t.resets += r.resets;
   return t;

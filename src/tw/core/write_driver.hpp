@@ -16,17 +16,31 @@ enum class WritePass : u8 {
   kReset,  ///< FSM0: program bits transitioning 1 -> 0
 };
 
+/// Observes every program pulse the driver issues — the verify
+/// subsystem's hook layer (tw/verify/InvariantMonitor implements this to
+/// prove the two FSMs never drive the same cell within one line write).
+class PulseObserver {
+ public:
+  virtual ~PulseObserver() = default;
+  /// One pulse driven into absolute cell `bit` by `pass`.
+  virtual void on_pulse(u64 bit, WritePass pass,
+                        pcm::ProgramResult result) = 0;
+};
+
 /// Drive one pass of a data-unit write into the array.
 ///
 /// `old_word` is the read-buffer content (what the cells held), `new_word`
 /// the data from the DX mux. PROG-enable = old XOR new; only bits whose
 /// transition direction matches `pass` are pulsed. Returns the transitions
-/// performed (one field is always zero).
+/// performed (one field is always zero). `observer`, when non-null, is
+/// notified of every pulse.
 BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
-                          u64 new_word, u32 bits, WritePass pass);
+                          u64 new_word, u32 bits, WritePass pass,
+                          PulseObserver* observer = nullptr);
 
 /// Convenience: both passes (SET then RESET), as a full data-unit write.
 BitTransitions drive_unit(pcm::PcmArray& array, u64 base_bit, u64 old_word,
-                          u64 new_word, u32 bits);
+                          u64 new_word, u32 bits,
+                          PulseObserver* observer = nullptr);
 
 }  // namespace tw::core

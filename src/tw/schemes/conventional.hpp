@@ -12,6 +12,9 @@ class ConventionalWrite final : public WriteScheme {
 
   std::string_view name() const override { return "conventional"; }
   SchemeKind kind() const override { return SchemeKind::kConventional; }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kNone, PulsePolicy::kAllCells, false};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

@@ -14,6 +14,9 @@ class DcwWrite final : public WriteScheme {
 
   std::string_view name() const override { return "dcw"; }
   SchemeKind kind() const override { return SchemeKind::kDcw; }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kNone, PulsePolicy::kChangedCells, false};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

@@ -26,6 +26,10 @@ class FlipNWrite final : public WriteScheme {
     return content_aware_ ? SchemeKind::kFlipNWriteActual
                           : SchemeKind::kFlipNWrite;
   }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kHamming, PulsePolicy::kChangedCells,
+            content_aware_};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

@@ -26,6 +26,9 @@ class PresetWrite final : public WriteScheme {
     return content_aware_ ? SchemeKind::kPresetActual
                           : SchemeKind::kPreset;
   }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kNone, PulsePolicy::kResetOnly, content_aware_};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

@@ -25,6 +25,10 @@ class ThreeStageWrite final : public WriteScheme {
     return content_aware_ ? SchemeKind::kThreeStageActual
                           : SchemeKind::kThreeStage;
   }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kHamming, PulsePolicy::kChangedCells,
+            content_aware_};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

@@ -25,6 +25,10 @@ class TwoStageWrite final : public WriteScheme {
     return content_aware_ ? SchemeKind::kTwoStageActual
                           : SchemeKind::kTwoStage;
   }
+  WriteSemantics semantics() const override {
+    return {FlipCriterion::kMinimizeSets, PulsePolicy::kAllCells,
+            content_aware_};
+  }
 
   ServicePlan plan_write(pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const override;

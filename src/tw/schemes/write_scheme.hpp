@@ -19,6 +19,7 @@
 #include "tw/common/types.hpp"
 #include "tw/pcm/line.hpp"
 #include "tw/pcm/params.hpp"
+#include "tw/schemes/prep.hpp"
 
 namespace tw::schemes {
 
@@ -39,6 +40,30 @@ enum class SchemeKind : u8 {
   // leaves only RESETs on the writeback critical path.
   kPreset,
   kPresetActual,
+};
+
+/// Which cells a scheme pulses on the write critical path. Together with
+/// the flip criterion this is enough for an external reference model to
+/// predict a scheme's exact post-write image and pulse counts bit by bit
+/// (the differential oracle in tw/verify/ does exactly that).
+enum class PulsePolicy : u8 {
+  kAllCells,      ///< pulses every data cell (conventional, 2-stage)
+  kChangedCells,  ///< read-before-write; pulses only changed cells
+  kResetOnly,     ///< PreSET: cells pre-SET in background, RESETs only
+};
+
+/// Declarative write semantics of a scheme — the checker interface every
+/// scheme implements so the verify subsystem can run it differentially
+/// against the bit-serial oracle.
+struct WriteSemantics {
+  FlipCriterion flip = FlipCriterion::kNone;
+  PulsePolicy pulses = PulsePolicy::kChangedCells;
+  /// True when the latency model charges *measured* per-unit current
+  /// demand (content-aware packing); false for the paper's worst-case
+  /// closed forms, whose idealizations may round concurrency up to one
+  /// unit per slot even when a pathological unit alone exceeds the
+  /// budget (the oracle relaxes its power-area lower bound for those).
+  bool measured_timing = false;
 };
 
 /// What one cache-line write service costs.
@@ -78,6 +103,9 @@ class WriteScheme {
   /// Short scheme name, e.g. "tetris".
   virtual std::string_view name() const = 0;
   virtual SchemeKind kind() const = 0;
+
+  /// Declarative semantics consumed by tw/verify/'s differential oracle.
+  virtual WriteSemantics semantics() const = 0;
 
   /// Plan and apply one cache-line write: `line` is mutated to the
   /// post-write physical state; `next` is the new logical data.

@@ -20,6 +20,7 @@ u64 Simulator::run(Tick limit) {
     now_ = ev.tick;
     ++executed_;
     ++n;
+    if (observer_) observer_(now_, executed_);
     ev.fn();
   }
   // Advance the clock to the limit: everything left is strictly later.
@@ -31,8 +32,10 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   Event ev = queue_.top();
   queue_.pop();
+  TW_ASSERT(ev.tick >= now_);
   now_ = ev.tick;
   ++executed_;
+  if (observer_) observer_(now_, executed_);
   ev.fn();
   return true;
 }

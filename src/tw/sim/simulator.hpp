@@ -28,6 +28,15 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  /// Invoked immediately before each event's callback runs, with the
+  /// event's tick and the running executed-event count. Used by the
+  /// verify subsystem's InvariantMonitor (time-monotonicity checking,
+  /// per-event invariant hooks) and by tracing tools.
+  using Observer = std::function<void(Tick now, u64 executed)>;
+
+  /// Install (or clear, with nullptr) the per-event observer.
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
   /// Current simulated time.
   Tick now() const { return now_; }
 
@@ -76,6 +85,7 @@ class Simulator {
   Tick now_ = 0;
   u64 seq_ = 0;
   u64 executed_ = 0;
+  Observer observer_;
 };
 
 /// A fixed-frequency clock domain layered on the picosecond timebase.

@@ -1,0 +1,60 @@
+#pragma once
+// DifferentialChecker: runs a production write scheme side by side with
+// the bit-serial OracleScheme built from the scheme's own declared
+// WriteSemantics, and cross-checks every observable of the write:
+//
+//   - post-write physical image (cells + flip tags, exact equality),
+//   - logical round-trip (the array reads back the requested data),
+//   - critical-path and background SET/RESET pulse counts,
+//   - flipped-unit count and silent-write classification,
+//   - latency envelope containment: production latency is at least the
+//     oracle's lower bound and its write phase fits under the fully-serial
+//     conventional upper bound,
+//   - energy floor: pulses performed cost at least the minimal transition
+//     energy.
+//
+// Any divergence throws VerifyError with a description of the mismatch.
+
+#include <string>
+
+#include "tw/pcm/line.hpp"
+#include "tw/schemes/write_scheme.hpp"
+#include "tw/verify/error.hpp"
+#include "tw/verify/oracle.hpp"
+
+namespace tw::verify {
+
+/// Running totals of a differential campaign (one checker instance).
+struct DifferentialReport {
+  u64 writes = 0;          ///< writes checked
+  u64 silent_writes = 0;   ///< writes the oracle classified as silent
+  u64 flipped_units = 0;   ///< data units stored inverted (cumulative)
+  u64 cells_compared = 0;  ///< physical cells compared against the oracle
+  Tick latency_total = 0;  ///< cumulative production latency
+};
+
+class DifferentialChecker {
+ public:
+  /// The oracle is derived from `scheme.semantics()`; the scheme must
+  /// outlive the checker.
+  explicit DifferentialChecker(const schemes::WriteScheme& scheme)
+      : scheme_(scheme), oracle_(scheme.config(), scheme.semantics()) {}
+
+  /// Run one production write of `next` over `line` (mutating `line`, as
+  /// plan_write does) and verify every observable against the oracle.
+  /// Returns the production plan. Throws VerifyError on any divergence.
+  schemes::ServicePlan check_write(pcm::LineBuf& line,
+                                   const pcm::LogicalLine& next);
+
+  const OracleScheme& oracle() const { return oracle_; }
+  const DifferentialReport& report() const { return report_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  const schemes::WriteScheme& scheme_;
+  OracleScheme oracle_;
+  DifferentialReport report_;
+};
+
+}  // namespace tw::verify

@@ -1,0 +1,18 @@
+#pragma once
+// The verify subsystem's failure type: thrown when a production scheme
+// diverges from the bit-serial oracle or a hardware invariant is violated.
+// A distinct type (rather than ContractViolation) lets tests assert that
+// it was the *checker* that caught a planted bug, not a scheme's own
+// internal assertion.
+
+#include <stdexcept>
+#include <string>
+
+namespace tw::verify {
+
+class VerifyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace tw::verify

@@ -261,6 +261,43 @@ TEST(Parallel, ThreadPoolWaitIdleOnEmpty) {
   SUCCEED();
 }
 
+TEST(Parallel, ThreadPoolThrowingJobDoesNotDeadlock) {
+  // A throwing job must neither terminate the worker nor leak the active
+  // count: wait_idle() returns (rethrowing the exception) instead of
+  // blocking forever.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&, i] {
+      if (i == 3) throw std::runtime_error("cell failed");
+      done++;
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(done.load(), 19);
+}
+
+TEST(Parallel, ThreadPoolUsableAfterThrowingJob) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("first batch fails"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The error state was cleared: a healthy second batch runs clean.
+  std::atomic<int> n{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { n++; });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(Parallel, ThreadPoolReportsFirstErrorOnly) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // subsequent waits are clean
+  SUCCEED();
+}
+
 // -------------------------------------------------------------- strings --
 TEST(Strings, Fixed) {
   EXPECT_EQ(fixed(3.14159, 2), "3.14");

@@ -209,6 +209,24 @@ TEST_P(PackerRandom, InvariantsHoldOnRandomLines) {
     if (uc.n1 > 0) upper += ceil_div(uc.n1, c.budget);
   }
   EXPECT_LE(r.result, upper);
+
+  // FFD never exceeds the power budget in any sub-slot — asserted here
+  // directly on the bookkeeping, independent of verify_pack.
+  for (const u32 p : r.slot_power) EXPECT_LE(p, c.budget);
+
+  // Never slower than writing every nonzero unit serially (what a
+  // conventional budget-respecting controller would do): each write-1
+  // takes its serial passes at full write-unit length, each write-0 its
+  // serial passes at sub-slot length.
+  double serial = 0.0;
+  for (const auto& uc : counts) {
+    if (uc.n1 > 0) serial += static_cast<double>(ceil_div(uc.n1, c.budget));
+    if (uc.n0 > 0) {
+      serial += static_cast<double>(ceil_div(u64{uc.n0} * c.l, c.budget)) /
+                static_cast<double>(c.k);
+    }
+  }
+  EXPECT_LE(r.write_unit_equiv(c.k), serial + 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, PackerRandom,

@@ -6,6 +6,7 @@
 #include "tw/common/rng.hpp"
 #include "tw/core/factory.hpp"
 #include "tw/core/fsm.hpp"
+#include "tw/verify/differential.hpp"
 
 namespace tw {
 namespace {
@@ -168,6 +169,44 @@ INSTANTIATE_TEST_SUITE_P(
     LineAndBudget, GeometryProperty,
     ::testing::Combine(::testing::Values(64u, 128u, 256u),
                        ::testing::Values(8u, 16u, 32u, 64u)));
+
+// P7: Tetris never consumes more write units than the conventional
+// scheme's one-per-data-unit serial schedule on the same data.
+TEST(TetrisVsConventional, NeverMoreWriteUnits) {
+  Rng rng(777);
+  const pcm::PcmConfig cfg = pcm::table2_config();
+  const auto tetris = core::make_scheme(SchemeKind::kTetris, cfg);
+  const auto conventional =
+      core::make_scheme(SchemeKind::kConventional, cfg);
+  for (int trial = 0; trial < 200; ++trial) {
+    pcm::LineBuf line_t = random_line(rng, 8);
+    pcm::LineBuf line_c = line_t;
+    const pcm::LogicalLine next =
+        random_mutation(rng, line_t, rng.uniform());
+    const schemes::ServicePlan pt = tetris->plan_write(line_t, next);
+    const schemes::ServicePlan pc = conventional->plan_write(line_c, next);
+    EXPECT_LE(pt.write_units, pc.write_units + 1e-9);
+  }
+}
+
+// P8: every scheme survives a differential sweep against the bit-serial
+// oracle (the deep variant with 10k pairs per scheme lives in
+// verify_test.cpp; this keeps a smoke-level differential property in the
+// general property suite).
+TEST_P(SchemeProperty, AgreesWithOracle) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(seed ^ 0x7777);
+  const pcm::PcmConfig cfg = pcm::table2_config();
+  const auto scheme = core::make_scheme(kind, cfg);
+  verify::DifferentialChecker checker(*scheme);
+  pcm::LineBuf line = random_line(rng, 8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const pcm::LogicalLine next =
+        random_mutation(rng, line, rng.uniform() * 0.6);
+    ASSERT_NO_THROW(checker.check_write(line, next));
+  }
+  EXPECT_EQ(checker.report().writes, 100u);
+}
 
 // P6: Tetris schedules under random stress always verify and the FSM
 // agrees with Eq. 5.
