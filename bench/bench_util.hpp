@@ -4,6 +4,7 @@
 // runner used by Figures 11-14 (same simulation matrix, different
 // metric).
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -26,6 +27,7 @@ struct Options {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
   std::string csv_path;     ///< optional CSV dump
   std::string svg_path;     ///< optional SVG figure
+  std::string json_path;    ///< optional machine-readable BENCH_*.json
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -48,14 +50,52 @@ struct Options {
         o.csv_path = value("--csv=");
       } else if (starts_with(arg, "--svg=")) {
         o.svg_path = value("--svg=");
+      } else if (starts_with(arg, "--json=")) {
+        o.json_path = value("--json=");
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick --ops=N --seed=N --threads=N "
-                     "--csv=PATH --svg=PATH\n";
+                     "--csv=PATH --svg=PATH --json=PATH\n";
         std::exit(0);
       }
     }
     return o;
   }
+};
+
+/// One machine-readable benchmark baseline record (the BENCH_*.json files
+/// at the repo root that track the perf trajectory across PRs).
+struct BenchBaseline {
+  std::string bench;    ///< e.g. "micro_sim", "fig13"
+  std::string config;   ///< human-readable knob summary
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;      ///< simulator events executed per second
+  double sim_writes_per_sec = 0.0;  ///< line writes serviced per second
+};
+
+inline void write_bench_json(const std::string& path,
+                             const BenchBaseline& b) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"" << b.bench << "\",\n"
+      << "  \"config\": \"" << b.config << "\",\n"
+      << "  \"wall_ms\": " << fixed(b.wall_ms, 2) << ",\n"
+      << "  \"events_per_sec\": " << fixed(b.events_per_sec, 1) << ",\n"
+      << "  \"sim_writes_per_sec\": " << fixed(b.sim_writes_per_sec, 1)
+      << "\n}\n";
+  std::cout << "(benchmark baseline written to " << path << ")\n";
+}
+
+/// Monotonic wall-clock stopwatch for the baseline records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Instruction budget giving ~target_ops memory requests per core.
@@ -105,6 +145,32 @@ inline harness::Matrix run_paper_matrix(const Options& o) {
   return m;
 }
 
+/// Emit the --json baseline for a full-system matrix run, aggregating
+/// simulator events and serviced writes across every cell.
+inline void maybe_write_matrix_json(const harness::Matrix& m,
+                                    const Options& o, const char* bench,
+                                    double wall_ms) {
+  if (o.json_path.empty()) return;
+  u64 events = 0, writes = 0;
+  for (const auto& row : m.cells) {
+    for (const auto& cell : row) {
+      events += cell.sim_events;
+      writes += cell.writes;
+    }
+  }
+  BenchBaseline b;
+  b.bench = bench;
+  b.config = std::string(o.quick ? "quick" : "full") +
+             " ops=" + std::to_string(o.target_ops_per_core) +
+             " seed=" + std::to_string(o.seed);
+  b.wall_ms = wall_ms;
+  const double secs = wall_ms / 1000.0;
+  b.events_per_sec = secs > 0.0 ? static_cast<double>(events) / secs : 0.0;
+  b.sim_writes_per_sec =
+      secs > 0.0 ? static_cast<double>(writes) / secs : 0.0;
+  write_bench_json(o.json_path, b);
+}
+
 /// Dump the raw matrix to the --csv path if given.
 inline void maybe_write_csv(const harness::Matrix& m, const Options& o) {
   if (o.csv_path.empty()) return;
@@ -146,7 +212,9 @@ inline int system_figure(int argc, char** argv, const char* title,
   std::cout << "(normalized to the DCW baseline; " << paper_citation
             << ")\n\n";
 
+  const WallTimer timer;
   const harness::Matrix m = run_paper_matrix(o);
+  const double wall_ms = timer.elapsed_ms();
   AsciiTable t = harness::normalized_table(m, metric, 0);
   const auto norm = harness::normalized_values(m, metric, 0);
   std::vector<std::string> paper_row = {"paper avg", "1.000"};
@@ -178,6 +246,7 @@ inline int system_figure(int argc, char** argv, const char* title,
                          : "\nshape: MISMATCH in scheme ranking\n");
   maybe_write_csv(m, o);
   maybe_write_svg(m, norm, title, "normalized to DCW baseline", o);
+  maybe_write_matrix_json(m, o, title, wall_ms);
   return shape_ok ? 0 : 1;
 }
 
@@ -192,7 +261,9 @@ inline int system_figure_higher(int argc, char** argv, const char* title,
   std::cout << "(improvement over the DCW baseline; " << paper_citation
             << ")\n\n";
 
+  const WallTimer timer;
   const harness::Matrix m = run_paper_matrix(o);
+  const double wall_ms = timer.elapsed_ms();
   AsciiTable t = harness::normalized_table(m, metric, 0);
   const auto norm = harness::normalized_values(m, metric, 0);
   std::vector<std::string> paper_row = {"paper avg", "1.000"};
@@ -216,6 +287,7 @@ inline int system_figure_higher(int argc, char** argv, const char* title,
                          : "\nshape: MISMATCH in scheme ranking\n");
   maybe_write_csv(m, o);
   maybe_write_svg(m, norm, title, "improvement over DCW baseline", o);
+  maybe_write_matrix_json(m, o, title, wall_ms);
   return shape_ok ? 0 : 1;
 }
 

@@ -1,0 +1,95 @@
+#pragma once
+// Open-addressing address→index map for the simulator's sparse stores.
+//
+// std::unordered_map pays a heap allocation per node and a pointer chase
+// per lookup; on the DataStore hot path (one lookup per memory request)
+// that dominates. FlatIndexMap keeps {key, index} pairs in one flat
+// power-of-two table with linear probing — one cache line per probe, no
+// per-entry allocation — and maps keys to u32 indices into a caller-owned
+// arena, so values never move on rehash (pointer stability is the arena's
+// job, not the table's).
+//
+// No erase: simulation stores only ever grow within a run (lines touched,
+// wear-leveling regions) and are torn down whole.
+
+#include <cstddef>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/types.hpp"
+
+namespace tw {
+
+class FlatIndexMap {
+ public:
+  /// Sentinel for "key absent".
+  static constexpr u32 kNoIndex = 0xFFFFFFFFu;
+
+  explicit FlatIndexMap(std::size_t initial_capacity = 64) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap *= 2;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+  }
+
+  /// Index stored for `key`, or kNoIndex.
+  u32 find(u64 key) const {
+    std::size_t i = hash(key) & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.idx == kNoIndex) return kNoIndex;
+      if (s.key == key) return s.idx;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Insert `key` → `idx`. The key must not already be present and idx
+  /// must not be the sentinel.
+  void insert(u64 key, u32 idx) {
+    TW_EXPECTS(idx != kNoIndex);
+    if ((count_ + 1) * 10 >= slots_.size() * 7) grow();
+    insert_unchecked(key, idx);
+    ++count_;
+  }
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    u64 key = 0;
+    u32 idx = kNoIndex;
+  };
+
+  static u64 hash(u64 key) {
+    // SplitMix64 finalizer: full-avalanche, cheap, and well distributed
+    // even for the strided line addresses the memory system produces.
+    u64 z = key + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  void insert_unchecked(u64 key, u32 idx) {
+    std::size_t i = hash(key) & mask_;
+    while (slots_[i].idx != kNoIndex) {
+      TW_ASSERT(slots_[i].key != key);  // duplicate insert
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{key, idx};
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.idx != kNoIndex) insert_unchecked(s.key, s.idx);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tw

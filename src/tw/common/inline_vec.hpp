@@ -1,0 +1,204 @@
+#pragma once
+// Small-buffer vector for the per-write hot path.
+//
+// The packer, read stage, and scheme prep code all build short sequences
+// whose length is bounded by the cache-line geometry (at most
+// pcm::kMaxUnitsPerLine data units per line) — but std::vector heap-
+// allocates every one of them, millions of times per simulation. InlineVec
+// keeps up to N elements in the object itself and only touches the heap
+// when a sequence genuinely outgrows the buffer (batched writes packing
+// several lines jointly, extreme small-budget ablations).
+//
+// Restricted to trivially copyable element types: growth and copies are
+// memcpy, destruction is free, and the container stays simple enough to
+// audit. All hot-path element types (UnitPlan, UnitCounts, pack slots,
+// u32 power values) qualify.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "tw/common/assert.hpp"
+
+namespace tw {
+
+template <class T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is restricted to trivially copyable types");
+  static_assert(N >= 1);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  // User-provided (not `= default`) so that const InlineVec objects are
+  // default-constructible despite the deliberately uninitialized buffer.
+  InlineVec() {}  // NOLINT(modernize-use-equals-default)
+
+  InlineVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  InlineVec(const InlineVec& other) { assign_from(other); }
+
+  InlineVec(InlineVec&& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign_from(other);
+      other.size_ = 0;
+    }
+  }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      if (other.on_heap()) {
+        data_ = other.data_;
+        capacity_ = other.capacity_;
+        size_ = other.size_;
+        other.data_ = other.inline_;
+        other.capacity_ = N;
+        other.size_ = 0;
+      } else {
+        size_ = 0;
+        assign_from(other);
+        other.size_ = 0;
+      }
+    }
+    return *this;
+  }
+
+  ~InlineVec() { release(); }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_] = T{std::forward<Args>(args)...};
+    return data_[size_++];
+  }
+
+  void pop_back() {
+    TW_EXPECTS(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  /// Resize; new elements are value-initialized.
+  void resize(std::size_t n, const T& fill = T{}) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  /// Replace the contents with n copies of v.
+  void assign(std::size_t n, const T& v) {
+    clear();
+    resize(n, v);
+  }
+
+  T& operator[](std::size_t i) {
+    TW_EXPECTS(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    TW_EXPECTS(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    TW_EXPECTS(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const {
+    TW_EXPECTS(size_ > 0);
+    return data_[size_ - 1];
+  }
+  T& front() {
+    TW_EXPECTS(size_ > 0);
+    return data_[0];
+  }
+  const T& front() const {
+    TW_EXPECTS(size_ > 0);
+    return data_[0];
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  bool operator==(const InlineVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  bool on_heap() const { return data_ != inline_; }
+
+  void assign_from(const InlineVec& other) {
+    reserve(other.size_);
+    std::memcpy(static_cast<void*>(data_), other.data_,
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void grow(std::size_t need) {
+    std::size_t cap = capacity_ * 2;
+    while (cap < need) cap *= 2;
+    T* heap = new T[cap];
+    std::memcpy(static_cast<void*>(heap), data_, size_ * sizeof(T));
+    release();
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void release() {
+    if (on_heap()) {
+      delete[] data_;
+      data_ = inline_;
+      capacity_ = N;
+    }
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tw

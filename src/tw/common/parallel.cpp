@@ -1,15 +1,24 @@
 #include "tw/common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace tw {
+
+namespace {
+// Workers mark themselves so a parallel_for issued from inside a pool job
+// degrades to a serial loop instead of submitting to (and then waiting
+// on) the pool it is itself running on — which could deadlock.
+thread_local bool tls_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  ring_.resize(64);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -25,17 +34,42 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::push_job(Job job) {
+  if (count_ == ring_.size()) {
+    std::vector<Job> bigger(ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = std::move(job);
+  ++count_;
+}
+
+ThreadPool::Job ThreadPool::pop_job() {
+  Job job = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return job;
+}
+
+void ThreadPool::submit(Job job) {
   {
     std::lock_guard lock(mu_);
-    jobs_.push(std::move(job));
+    push_job(std::move(job));
   }
   cv_job_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  cv_idle_.wait(lock, [this] { return count_ == 0 && active_ == 0; });
   if (first_error_) {
     std::exception_ptr e = nullptr;
     std::swap(e, first_error_);
@@ -44,14 +78,14 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_pool_worker = true;
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock lock(mu_);
-      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-      if (stop_ && jobs_.empty()) return;
-      job = std::move(jobs_.front());
-      jobs_.pop();
+      cv_job_.wait(lock, [this] { return stop_ || count_ != 0; });
+      if (stop_ && count_ == 0) return;
+      job = pop_job();
       ++active_;
     }
     // A throwing job must not unwind the worker (std::terminate) or leak
@@ -67,10 +101,42 @@ void ThreadPool::worker_loop() {
       std::lock_guard lock(mu_);
       --active_;
       if (error && !first_error_) first_error_ = error;
-      if (jobs_.empty() && active_ == 0) cv_idle_.notify_all();
+      if (count_ == 0 && active_ == 0) cv_idle_.notify_all();
     }
   }
 }
+
+namespace {
+
+/// Per-call state for one parallel_for; lives on the caller's stack
+/// (parallel_for returns only after every helper has checked out).
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending_helpers = 0;
+  std::exception_ptr first_error;
+};
+
+void run_chunks(ForState& s) {
+  for (;;) {
+    const std::size_t i0 = s.next.fetch_add(s.chunk,
+                                            std::memory_order_relaxed);
+    if (i0 >= s.n) return;
+    const std::size_t i1 = std::min(i0 + s.chunk, s.n);
+    try {
+      for (std::size_t i = i0; i < i1; ++i) (*s.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(s.mu);
+      if (!s.first_error) s.first_error = std::current_exception();
+    }
+  }
+}
+
+}  // namespace
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
@@ -79,36 +145,37 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (threads > n) threads = n;
-  if (threads == 1) {
+  threads = std::min(threads, n);
+  if (threads == 1 || tls_pool_worker) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t helpers = std::min(threads - 1, pool.thread_count());
 
-  auto body = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
+  ForState s;
+  s.n = n;
+  s.fn = &fn;
+  // Chunked dynamic distribution: coarse enough to amortize the claim,
+  // fine enough (~8 chunks per thread) to balance uneven cell costs.
+  s.chunk = std::max<std::size_t>(1, n / (threads * 8));
+  s.pending_helpers = helpers;
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(body);
-  body();
-  for (auto& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state = &s] {
+      run_chunks(*state);
+      std::lock_guard lock(state->mu);
+      if (--state->pending_helpers == 0) state->done_cv.notify_all();
+    });
+  }
+  run_chunks(s);  // the caller claims chunks too: progress is guaranteed
+                  // even if the pool is busy or smaller than requested
+  {
+    std::unique_lock lock(s.mu);
+    s.done_cv.wait(lock, [&s] { return s.pending_helpers == 0; });
+  }
+  if (s.first_error) std::rethrow_exception(s.first_error);
 }
 
 }  // namespace tw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "tw/common/assert.hpp"
 
@@ -15,20 +17,31 @@ struct Item {
   u32 current;
 };
 
-std::vector<Item> sorted_items(std::span<const UnitCounts> counts,
-                               bool write1_phase, const PackerConfig& cfg) {
-  std::vector<Item> items;
-  items.reserve(counts.size());
+using ItemVec = InlineVec<Item, pcm::kMaxUnitsPerLine>;
+
+ItemVec sorted_items(std::span<const UnitCounts> counts, bool write1_phase,
+                     const PackerConfig& cfg) {
+  ItemVec items;
+  const bool ordered = cfg.order != PackOrder::kFirstFitArrival;
   for (const auto& c : counts) {
     const u32 demand = write1_phase ? c.n1 : c.n0 * cfg.l;
-    if (demand > 0) items.push_back(Item{c.unit, demand});
-  }
-  if (cfg.order != PackOrder::kFirstFitArrival) {
-    std::sort(items.begin(), items.end(),
-              [](const Item& a, const Item& b) {
-                if (a.current != b.current) return a.current > b.current;
-                return a.unit < b.unit;
-              });
+    if (demand == 0) continue;
+    const Item it{c.unit, demand};
+    if (!ordered) {
+      items.push_back(it);
+      continue;
+    }
+    // Insertion sort: sequences are line-bounded (hardware sorts 8 items
+    // in a handful of cycles; here it also skips std::sort's dispatch).
+    items.push_back(it);
+    std::size_t j = items.size() - 1;
+    while (j > 0 && (items[j - 1].current < it.current ||
+                     (items[j - 1].current == it.current &&
+                      items[j - 1].unit > it.unit))) {
+      items[j] = items[j - 1];
+      --j;
+    }
+    items[j] = it;
   }
   return items;
 }
@@ -42,9 +55,14 @@ PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
   // ---- Phase 1: write-1s into write units. -------------------------------
   // During this phase every sub-slot of a write unit carries the same
   // power, so track one value per write unit.
-  std::vector<u32> wu_power;  // per write unit, SET-current units in use
+  InlineVec<u32, pcm::kMaxUnitsPerLine> wu_power;  // SET-current per unit
   // Self-overlap bookkeeping: which write units unit i's write-1 spans.
-  std::vector<std::pair<u32, u32>> span_of_unit(counts.size(), {0, 0});
+  struct UnitSpan {
+    u32 lo = 0;
+    u32 hi = 0;
+  };
+  InlineVec<UnitSpan, pcm::kMaxUnitsPerLine> span_of_unit;
+  span_of_unit.resize(counts.size(), UnitSpan{});
 
   const bool best_fit = cfg.order == PackOrder::kBestFitDecreasing;
   for (const Item& it : sorted_items(counts, /*write1_phase=*/true, cfg)) {
@@ -85,7 +103,7 @@ PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
   // ---- Phase 2: write-0s into sub-write-units. ---------------------------
   // Expand per-write-unit power to per-sub-slot power; trailing sub-slots
   // are appended on demand with a fresh budget.
-  std::vector<u32>& slots = r.slot_power;
+  auto& slots = r.slot_power;
   slots.reserve(static_cast<std::size_t>(r.result) * cfg.k);
   for (u32 w = 0; w < r.result; ++w) {
     for (u32 s = 0; s < cfg.k; ++s) slots.push_back(wu_power[w]);

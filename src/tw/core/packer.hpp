@@ -27,8 +27,8 @@
 // passes.
 
 #include <span>
-#include <vector>
 
+#include "tw/common/inline_vec.hpp"
 #include "tw/common/types.hpp"
 #include "tw/core/read_stage.hpp"
 
@@ -75,14 +75,16 @@ struct Write0Slot {
   u32 passes = 1;    ///< serial partial passes (1 unless over-budget item)
 };
 
-/// Full analysis-stage output.
+/// Full analysis-stage output. All sequences are inline up to the
+/// single-line capacity (heap only for multi-line batches and extreme
+/// small-budget ablations): one pack() per write costs no allocation.
 struct PackResult {
   u32 result = 0;     ///< write units consumed by write-1s (paper: result)
   u32 subresult = 0;  ///< trailing sub-write-units for write-0s
-  std::vector<Write1Slot> write1_queue;  ///< FSM1 program, schedule order
-  std::vector<Write0Slot> write0_queue;  ///< FSM0 program, schedule order
+  InlineVec<Write1Slot, pcm::kMaxUnitsPerLine> write1_queue;  ///< FSM1 program
+  InlineVec<Write0Slot, pcm::kMaxUnitsPerLine> write0_queue;  ///< FSM0 program
   /// Power drawn per sub-slot, length result*k + subresult.
-  std::vector<u32> slot_power;
+  InlineVec<u32, 4 * pcm::kMaxUnitsPerLine> slot_power;
 
   /// Hardware-cost accounting for the analysis stage: placement
   /// comparisons performed (the paper budgets 41 cycles at 400 MHz for

@@ -14,8 +14,7 @@
 // write driver's PROG-enable gating (Fig. 9) only pulses changed cells,
 // which confirms this reading.
 
-#include <vector>
-
+#include "tw/common/inline_vec.hpp"
 #include "tw/pcm/line.hpp"
 #include "tw/schemes/prep.hpp"
 
@@ -28,10 +27,13 @@ struct UnitCounts {
   u32 n0 = 0;    ///< RESET bit-writes required (write-0s), incl. tag if 1->0
 };
 
+/// Per-unit counts for one line, kept inline (no heap on the write path).
+using CountsVec = InlineVec<UnitCounts, pcm::kMaxUnitsPerLine>;
+
 /// Full read-stage output for one cache-line write.
 struct ReadStageResult {
-  std::vector<schemes::UnitPlan> plans;  ///< per-unit flip decisions + cells
-  std::vector<UnitCounts> counts;        ///< per-unit SET/RESET counts
+  schemes::PlanVec plans;  ///< per-unit flip decisions + cells
+  CountsVec counts;        ///< per-unit SET/RESET counts
   u32 flipped_units = 0;
 
   /// Total changed bits across the line (incl. tag cells).

@@ -49,10 +49,10 @@ PackerConfig TetrisScheme::make_packer_config() const {
   return p;
 }
 
-std::vector<UnitCounts> TetrisScheme::packing_counts(
-    const pcm::LineBuf& line, const ReadStageResult& read,
-    u32 unit_base) const {
-  std::vector<UnitCounts> counts = read.counts;
+CountsVec TetrisScheme::packing_counts(const pcm::LineBuf& line,
+                                       const ReadStageResult& read,
+                                       u32 unit_base) const {
+  CountsVec counts = read.counts;
   const bool per_chip =
       opts_.respect_gcp_setting && !cfg_.power.global_charge_pump &&
       cfg_.geometry.chips_per_bank > 1 &&
@@ -87,7 +87,7 @@ TetrisAnalysis TetrisScheme::analyze(const pcm::LineBuf& line,
   a.read = read_stage(line, next, cfg_.geometry.data_unit_bits);
   a.packer_cfg = make_packer_config();
 
-  const std::vector<UnitCounts> counts = packing_counts(line, a.read, 0);
+  const CountsVec counts = packing_counts(line, a.read, 0);
   a.pack = pack(counts, a.packer_cfg);
   if (opts_.self_check) {
     verify_pack(counts, a.packer_cfg, a.pack);

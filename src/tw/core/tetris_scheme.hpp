@@ -78,9 +78,9 @@ class TetrisScheme final : public schemes::WriteScheme {
 
   /// Packing inputs for one line's read-stage result, with the non-GCP
   /// worst-chip scaling applied and unit ids offset by `unit_base`.
-  std::vector<UnitCounts> packing_counts(const pcm::LineBuf& line,
-                                         const ReadStageResult& read,
-                                         u32 unit_base) const;
+  CountsVec packing_counts(const pcm::LineBuf& line,
+                           const ReadStageResult& read,
+                           u32 unit_base) const;
 
   TetrisOptions opts_;
 };

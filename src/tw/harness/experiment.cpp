@@ -36,6 +36,7 @@ RunMetrics run_system(const SystemConfig& cfg,
       reg.histogram("mem.write_latency_hist_ns").percentile(0.99);
   m.reads = reg.counter("mem.reads").value();
   m.writes = reg.counter("mem.writes").value();
+  m.sim_events = sim.executed();
   m.retired = cpus.total_retired();
   m.ipc = cpus.aggregate_ipc();
   m.runtime_ns = to_ns(cpus.runtime());

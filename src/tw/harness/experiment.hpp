@@ -41,6 +41,7 @@ struct RunMetrics {
   u64 reads = 0;
   u64 writes = 0;
   u64 retired = 0;
+  u64 sim_events = 0;  ///< simulator events executed (kernel throughput)
   double write_energy_pj = 0.0;
   double read_energy_pj = 0.0;
   double bits_per_write = 0.0;    ///< programmed bits per line write (wear)

@@ -42,6 +42,23 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
   pcm_.validate();
 }
 
+u32 Controller::acquire_read_slot(MemoryRequest&& req) {
+  if (!free_read_slots_.empty()) {
+    const u32 slot = free_read_slots_.back();
+    free_read_slots_.pop_back();
+    read_pool_[slot] = std::move(req);
+    return slot;
+  }
+  read_pool_.push_back(std::move(req));
+  return static_cast<u32>(read_pool_.size() - 1);
+}
+
+MemoryRequest Controller::take_read_slot(u32 slot) {
+  MemoryRequest req = std::move(read_pool_[slot]);
+  free_read_slots_.push_back(slot);
+  return req;
+}
+
 StartGapLeveler& Controller::leveler_for(u64 region) {
   auto it = levelers_.find(region);
   if (it == levelers_.end()) {
@@ -96,10 +113,12 @@ bool Controller::enqueue(MemoryRequest req) {
           const double lat_ns = to_ns(cfg_.forward_latency);
           a_read_latency_.add(lat_ns);
           h_read_latency_.add(static_cast<u64>(lat_ns));
+          const u32 slot = acquire_read_slot(std::move(done));
           sim_.schedule_in(
               cfg_.forward_latency,
-              [this, done] {
-                if (on_read_) on_read_(done);
+              [this, slot] {
+                const MemoryRequest fwd = take_read_slot(slot);
+                if (on_read_) on_read_(fwd);
               },
               sim::Priority::kDeviceComplete);
           return true;
@@ -243,11 +262,13 @@ void Controller::issue_read(MemoryRequest req) {
   a_read_latency_.add(lat_ns);
   h_read_latency_.add(static_cast<u64>(lat_ns));
 
+  const u32 slot = acquire_read_slot(std::move(req));
   sim_.schedule_in(
       service,
-      [this, req] {
+      [this, slot] {
         --inflight_;
-        if (on_read_) on_read_(req);
+        const MemoryRequest done = take_read_slot(slot);
+        if (on_read_) on_read_(done);
         schedule_dispatch();
       },
       sim::Priority::kDeviceComplete);

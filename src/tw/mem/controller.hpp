@@ -151,6 +151,9 @@ class Controller {
 
   void dispatch();
   void schedule_dispatch();
+  /// Park a completed-read result; the completion event captures the slot.
+  u32 acquire_read_slot(MemoryRequest&& req);
+  MemoryRequest take_read_slot(u32 slot);
   void issue_read(MemoryRequest req);
   void issue_write(MemoryRequest req, Tick service_override = 0);
   void issue_write_batch(std::vector<MemoryRequest> reqs);
@@ -190,6 +193,12 @@ class Controller {
 
   // Wear leveling state, keyed by region id.
   std::unordered_map<u64, StartGapLeveler> levelers_;
+
+  // In-flight read results staged by slot: completion callbacks capture
+  // one u32 instead of a full MemoryRequest, keeping them inside the
+  // simulator's 48 B inline-callback budget (and allocation-free).
+  std::vector<MemoryRequest> read_pool_;
+  std::vector<u32> free_read_slots_;
 
   ReadCallback on_read_;
   WriteCallback on_write_;

@@ -25,11 +25,18 @@ pcm::LineBuf DataStore::materialize(Addr line_addr) const {
 }
 
 pcm::LineBuf& DataStore::line(Addr line_addr) {
-  auto it = lines_.find(line_addr);
-  if (it == lines_.end()) {
-    it = lines_.emplace(line_addr, materialize(line_addr)).first;
+  const u32 idx = index_.find(line_addr);
+  if (idx != FlatIndexMap::kNoIndex) {
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
   }
-  return it->second;
+  if ((arena_size_ >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<pcm::LineBuf[]>(kChunkLines));
+  }
+  const u32 slot = arena_size_++;
+  pcm::LineBuf& buf = chunks_[slot >> kChunkShift][slot & kChunkMask];
+  buf = materialize(line_addr);
+  index_.insert(line_addr, slot);
+  return buf;
 }
 
 }  // namespace tw::mem

@@ -5,9 +5,17 @@
 // ever touched. Untouched lines are materialized on first access with
 // deterministic pseudo-random content derived from (seed, line address),
 // so simulations are reproducible regardless of access order.
+//
+// Storage is a FlatIndexMap (open-addressing, no per-entry allocation)
+// over a chunked arena of LineBufs: references returned by line() stay
+// valid for the store's lifetime — growth adds chunks, it never moves
+// existing lines (unlike unordered_map, this is guaranteed by layout,
+// not by rehash accident).
 
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
+#include "tw/common/flat_map.hpp"
 #include "tw/common/rng.hpp"
 #include "tw/common/types.hpp"
 #include "tw/pcm/line.hpp"
@@ -25,6 +33,7 @@ class DataStore {
       : units_(units_per_line), seed_(seed), ones_bias_(ones_bias) {}
 
   /// Mutable physical state of a line (materialized on first touch).
+  /// The reference stays valid for the lifetime of the store.
   pcm::LineBuf& line(Addr line_addr);
 
   /// Read-only logical view of a line (materializes on first touch).
@@ -34,19 +43,25 @@ class DataStore {
 
   /// True if the line has been materialized.
   bool touched(Addr line_addr) const {
-    return lines_.find(line_addr) != lines_.end();
+    return index_.find(line_addr) != FlatIndexMap::kNoIndex;
   }
 
-  std::size_t lines_touched() const { return lines_.size(); }
+  std::size_t lines_touched() const { return index_.size(); }
   u32 units_per_line() const { return units_; }
 
  private:
+  static constexpr u32 kChunkShift = 9;  ///< 512 lines per arena chunk
+  static constexpr u32 kChunkLines = 1u << kChunkShift;
+  static constexpr u32 kChunkMask = kChunkLines - 1;
+
   pcm::LineBuf materialize(Addr line_addr) const;
 
   u32 units_;
   u64 seed_;
   double ones_bias_;
-  std::unordered_map<Addr, pcm::LineBuf> lines_;
+  FlatIndexMap index_;
+  std::vector<std::unique_ptr<pcm::LineBuf[]>> chunks_;
+  u32 arena_size_ = 0;  ///< lines stored across all chunks
 };
 
 }  // namespace tw::mem

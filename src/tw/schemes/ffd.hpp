@@ -3,11 +3,13 @@
 // packing primitive of the content-aware scheme variants (and mirrored by
 // the Tetris packer's write-1 phase in tw::core).
 
-#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "tw/common/assert.hpp"
+#include "tw/common/inline_vec.hpp"
 #include "tw/common/types.hpp"
+#include "tw/pcm/line.hpp"
 
 namespace tw::schemes {
 
@@ -16,11 +18,23 @@ namespace tw::schemes {
 /// ceil(item/capacity) dedicated bins (a data unit whose current demand
 /// exceeds the budget must be written in several partial passes).
 /// Zero-valued items need no bin. Returns 0 when nothing needs a bin.
-inline u32 ffd_bin_count(std::vector<u32> items, u32 capacity) {
+///
+/// In-place hot-path variant: sorts `items` descending (insertion sort —
+/// the per-line sequences are at most kMaxUnitsPerLine long) and performs
+/// no heap allocation.
+inline u32 ffd_bin_count_inplace(std::span<u32> items, u32 capacity) {
   TW_EXPECTS(capacity > 0);
-  std::sort(items.begin(), items.end(), std::greater<>());
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    const u32 v = items[i];
+    std::size_t j = i;
+    while (j > 0 && items[j - 1] < v) {
+      items[j] = items[j - 1];
+      --j;
+    }
+    items[j] = v;
+  }
   u32 extra = 0;
-  std::vector<u32> bins;  // residual capacity per open bin
+  InlineVec<u32, pcm::kMaxUnitsPerLine> bins;  // residual capacity per bin
   for (u32 item : items) {
     if (item == 0) continue;
     if (item > capacity) {
@@ -40,6 +54,11 @@ inline u32 ffd_bin_count(std::vector<u32> items, u32 capacity) {
     if (!placed) bins.push_back(capacity - item);
   }
   return static_cast<u32>(bins.size()) + extra;
+}
+
+/// Convenience overload for tests and cold paths (copies, then packs).
+inline u32 ffd_bin_count(std::vector<u32> items, u32 capacity) {
+  return ffd_bin_count_inplace(std::span<u32>(items), capacity);
 }
 
 }  // namespace tw::schemes

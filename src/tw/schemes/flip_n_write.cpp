@@ -21,14 +21,13 @@ ServicePlan FlipNWrite::plan_write(pcm::LineBuf& line,
   if (content_aware_) {
     // Pack by actual current demand: a unit's write draws its SET current
     // plus L x its RESET current for the whole (worst-length) pulse train.
-    std::vector<u32> demand;
-    demand.reserve(plans.size());
+    InlineVec<u32, pcm::kMaxUnitsPerLine> demand;
     for (const auto& p : plans) {
       u32 d = p.sets + p.resets * cfg_.l();
       if (p.tag_changed) d += p.tag_to_one ? 1 : cfg_.l();
       demand.push_back(d);
     }
-    units = ffd_bin_count(std::move(demand), cfg_.bank_power_budget());
+    units = ffd_bin_count_inplace(demand, cfg_.bank_power_budget());
   } else {
     // Worst-case guarantee: two units per write unit.
     units = static_cast<double>(ceil_div(g.units_per_line(), 2));

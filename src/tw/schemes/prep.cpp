@@ -45,12 +45,10 @@ UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
   return p;
 }
 
-std::vector<UnitPlan> plan_line(const pcm::LineBuf& line,
-                                const pcm::LogicalLine& next,
-                                FlipCriterion crit, u32 bits) {
+PlanVec plan_line(const pcm::LineBuf& line, const pcm::LogicalLine& next,
+                  FlipCriterion crit, u32 bits) {
   TW_EXPECTS(line.units() == next.units());
-  std::vector<UnitPlan> plans;
-  plans.reserve(line.units());
+  PlanVec plans;
   for (u32 i = 0; i < line.units(); ++i) {
     plans.push_back(
         plan_unit(line.cell(i), line.flip(i), next.word(i), crit, bits));
@@ -58,7 +56,7 @@ std::vector<UnitPlan> plan_line(const pcm::LineBuf& line,
   return plans;
 }
 
-void apply_plans(pcm::LineBuf& line, const std::vector<UnitPlan>& plans) {
+void apply_plans(pcm::LineBuf& line, std::span<const UnitPlan> plans) {
   TW_EXPECTS(plans.size() == line.units());
   for (u32 i = 0; i < line.units(); ++i) {
     line.set_cell(i, plans[i].new_cells);
@@ -66,7 +64,7 @@ void apply_plans(pcm::LineBuf& line, const std::vector<UnitPlan>& plans) {
   }
 }
 
-BitTransitions total_transitions(const std::vector<UnitPlan>& plans) {
+BitTransitions total_transitions(std::span<const UnitPlan> plans) {
   BitTransitions t;
   for (const auto& p : plans) {
     t.sets += p.sets;
@@ -82,7 +80,7 @@ BitTransitions total_transitions(const std::vector<UnitPlan>& plans) {
   return t;
 }
 
-BitTransitions total_all_bits(const std::vector<UnitPlan>& plans) {
+BitTransitions total_all_bits(std::span<const UnitPlan> plans) {
   BitTransitions t;
   for (const auto& p : plans) {
     t.sets += p.all_ones;

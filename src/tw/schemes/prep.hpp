@@ -3,9 +3,10 @@
 // style or SET-minimizing) and transition counting in the physical cell
 // domain. Every scheme's "read stage" reduces to this.
 
-#include <vector>
+#include <span>
 
 #include "tw/common/bits.hpp"
+#include "tw/common/inline_vec.hpp"
 #include "tw/common/types.hpp"
 #include "tw/pcm/line.hpp"
 
@@ -32,24 +33,27 @@ struct UnitPlan {
   u32 changed() const { return sets + resets; }
 };
 
+/// One plan per data unit of a line, kept inline (a line has at most
+/// pcm::kMaxUnitsPerLine units): building one per write costs no heap.
+using PlanVec = InlineVec<UnitPlan, pcm::kMaxUnitsPerLine>;
+
 /// Prepare the write of `new_logical` over a unit currently holding
 /// `old_cells` with tag `old_tag`. `bits` is the data-unit width (<= 64).
 UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
                    FlipCriterion crit, u32 bits);
 
 /// Prepare every unit of a line write. Returns one UnitPlan per data unit.
-std::vector<UnitPlan> plan_line(const pcm::LineBuf& line,
-                                const pcm::LogicalLine& next,
-                                FlipCriterion crit, u32 bits);
+PlanVec plan_line(const pcm::LineBuf& line, const pcm::LogicalLine& next,
+                  FlipCriterion crit, u32 bits);
 
 /// Apply prepared unit plans to the physical line (store cells + tags).
-void apply_plans(pcm::LineBuf& line, const std::vector<UnitPlan>& plans);
+void apply_plans(pcm::LineBuf& line, std::span<const UnitPlan> plans);
 
 /// Sum of changed-bit transitions across plans, including tag-cell pulses.
-BitTransitions total_transitions(const std::vector<UnitPlan>& plans);
+BitTransitions total_transitions(std::span<const UnitPlan> plans);
 
 /// Sum of all-bit writes across plans (conventional / 2-stage energy),
 /// including tag-cell pulses for tags that changed.
-BitTransitions total_all_bits(const std::vector<UnitPlan>& plans);
+BitTransitions total_all_bits(std::span<const UnitPlan> plans);
 
 }  // namespace tw::schemes

@@ -30,8 +30,7 @@ ServicePlan PresetWrite::plan_write(pcm::LineBuf& line,
   }
 
   // Critical writeback: RESET the new data's zero bits.
-  std::vector<u32> reset_demand;
-  reset_demand.reserve(units);
+  InlineVec<u32, pcm::kMaxUnitsPerLine> reset_demand;
   for (u32 i = 0; i < units; ++i) {
     const u32 zeros = bits - popcount(next.word(i) & mask);
     // The tag returns to 0 (PreSET stores plain, uninverted data).
@@ -42,7 +41,7 @@ ServicePlan PresetWrite::plan_write(pcm::LineBuf& line,
 
   u32 reset_slots;
   if (content_aware_) {
-    reset_slots = ffd_bin_count(std::move(reset_demand), budget);
+    reset_slots = ffd_bin_count_inplace(reset_demand, budget);
   } else {
     const u32 conc = std::max<u32>(1, budget / ((bits + 1) * l));
     reset_slots = static_cast<u32>(ceil_div(units, conc));

@@ -25,9 +25,7 @@ ServicePlan ThreeStageWrite::plan_write(pcm::LineBuf& line,
   u32 reset_slots;
   u32 set_slots;
   if (content_aware_) {
-    std::vector<u32> reset_demand, set_demand;
-    reset_demand.reserve(units);
-    set_demand.reserve(units);
+    InlineVec<u32, pcm::kMaxUnitsPerLine> reset_demand, set_demand;
     for (const auto& p : plans) {
       u32 rd = p.resets * l;
       u32 sd = p.sets;
@@ -41,8 +39,8 @@ ServicePlan ThreeStageWrite::plan_write(pcm::LineBuf& line,
       reset_demand.push_back(rd);
       set_demand.push_back(sd);
     }
-    reset_slots = ffd_bin_count(std::move(reset_demand), budget);
-    set_slots = ffd_bin_count(std::move(set_demand), budget);
+    reset_slots = ffd_bin_count_inplace(reset_demand, budget);
+    set_slots = ffd_bin_count_inplace(set_demand, budget);
   } else {
     // Flip bounds changed bits per unit to ceil(bits/2): both stages'
     // worst-case concurrency doubles relative to 2-Stage-Write.

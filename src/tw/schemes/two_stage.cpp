@@ -25,9 +25,7 @@ ServicePlan TwoStageWrite::plan_write(pcm::LineBuf& line,
   u32 reset_slots;  // serial Treset-long steps in stage-0
   u32 set_slots;    // serial Tset-long steps in stage-1
   if (content_aware_) {
-    std::vector<u32> reset_demand, set_demand;
-    reset_demand.reserve(units);
-    set_demand.reserve(units);
+    InlineVec<u32, pcm::kMaxUnitsPerLine> reset_demand, set_demand;
     for (const auto& p : plans) {
       u32 rd = p.all_zeros * l;
       u32 sd = p.all_ones;
@@ -41,8 +39,8 @@ ServicePlan TwoStageWrite::plan_write(pcm::LineBuf& line,
       reset_demand.push_back(rd);
       set_demand.push_back(sd);
     }
-    reset_slots = ffd_bin_count(std::move(reset_demand), budget);
-    set_slots = ffd_bin_count(std::move(set_demand), budget);
+    reset_slots = ffd_bin_count_inplace(reset_demand, budget);
+    set_slots = ffd_bin_count_inplace(set_demand, budget);
   } else {
     // Worst case: a unit may RESET all `bits` cells (current bits*L) and,
     // thanks to the flip, SETs at most ceil(bits/2) cells.

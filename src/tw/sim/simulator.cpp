@@ -4,44 +4,197 @@
 
 namespace tw::sim {
 
-void Simulator::schedule_at(Tick at, Callback fn, Priority prio) {
-  TW_EXPECTS(at >= now_);
-  TW_EXPECTS(fn != nullptr);
-  queue_.push(Event{at, static_cast<u8>(prio), seq_++, std::move(fn)});
-}
+Simulator::~Simulator() = default;  // chunks_ owns every node
 
-u64 Simulator::run(Tick limit) {
-  u64 n = 0;
-  while (!queue_.empty() && queue_.top().tick <= limit) {
-    // Copy out before pop so the callback can schedule new events.
-    Event ev = queue_.top();
-    queue_.pop();
-    TW_ASSERT(ev.tick >= now_);
-    now_ = ev.tick;
-    ++executed_;
-    ++n;
-    if (observer_) observer_(now_, executed_);
-    ev.fn();
+Simulator::EventNode* Simulator::alloc_node() {
+  if (free_ == nullptr) {
+    auto chunk = std::make_unique<EventNode[]>(kChunkNodes);
+    for (u32 i = 0; i < kChunkNodes; ++i) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+    chunks_.push_back(std::move(chunk));
   }
-  // Advance the clock to the limit: everything left is strictly later.
-  if (limit != kTickMax && now_ < limit) now_ = limit;
+  EventNode* n = free_;
+  free_ = n->next;
   return n;
 }
 
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  TW_ASSERT(ev.tick >= now_);
-  now_ = ev.tick;
+void Simulator::free_node(EventNode* n) {
+  n->fn.reset();  // release captures now, not when the node is reused
+  n->next = free_;
+  free_ = n;
+}
+
+void Simulator::bucket_insert(EventNode* n, u32 b) {
+  n->next = buckets_[b];
+  buckets_[b] = n;
+  bucket_bits_[b >> 6] |= u64{1} << (b & 63);
+}
+
+void Simulator::insert(EventNode* n) {
+  const u64 day = day_of(n->tick);
+  if (day < wheel_base_day_ + kNumBuckets) {
+    // In the wheel window. day >= wheel_base_day_ holds because the base
+    // never passes day_of(now) (see migrate_far), and ticks are >= now.
+    bucket_insert(n, static_cast<u32>(day) & kBucketMask);
+    min_day_hint_ = std::min(min_day_hint_, day);
+  } else {
+    n->next = far_;
+    far_ = n;
+    far_min_tick_ = std::min(far_min_tick_, n->tick);
+  }
+}
+
+u32 Simulator::find_set_offset(u32 start, u32 span) const {
+  u32 off = 0;
+  while (off < span) {
+    const u32 idx = (start + off) & kBucketMask;
+    const u32 bit = idx & 63;
+    const u64 w = bucket_bits_[idx >> 6] >> bit;
+    const u32 avail = std::min(64 - bit, span - off);
+    if (w != 0) {
+      const u32 tz = static_cast<u32>(std::countr_zero(w));
+      if (tz < avail) return off + tz;
+    }
+    off += avail;
+  }
+  return span;
+}
+
+void Simulator::migrate_far() {
+  // Slide the window to start at the earliest far event; everything now
+  // inside moves to buckets, the rest stays far with a recomputed min.
+  const u64 base = day_of(far_min_tick_);
+  wheel_base_day_ = base;
+  min_day_hint_ = base;
+  EventNode* n = far_;
+  far_ = nullptr;
+  far_min_tick_ = kTickMax;
+  while (n != nullptr) {
+    EventNode* next = n->next;
+    const u64 day = day_of(n->tick);
+    if (day < base + kNumBuckets) {
+      bucket_insert(n, static_cast<u32>(day) & kBucketMask);
+    } else {
+      n->next = far_;
+      far_ = n;
+      far_min_tick_ = std::min(far_min_tick_, n->tick);
+    }
+    n = next;
+  }
+}
+
+Simulator::EventNode* Simulator::pop_earliest(Tick limit) {
+  for (;;) {
+    // The earliest pending wheel event lives in the first nonempty bucket
+    // at or after the min-day cursor (buckets ahead of the base wrap to
+    // future days and are scanned in window order, so bucket index ==
+    // day order). The cursor keeps the bitmap scan O(1) amortized: it
+    // only moves forward as events fire, never rescans drained buckets.
+    const u64 scan_day = std::max({min_day_hint_, day_of(now_),
+                                   wheel_base_day_});
+    const u64 end_day = wheel_base_day_ + kNumBuckets;
+    if (scan_day < end_day) {
+      const u32 span = static_cast<u32>(end_day - scan_day);
+      const u32 off =
+          find_set_offset(static_cast<u32>(scan_day) & kBucketMask, span);
+      if (off != span) {
+        min_day_hint_ = scan_day + off;
+        const u32 b = static_cast<u32>(scan_day + off) & kBucketMask;
+        // All nodes in a bucket share a day; pick the (tick, order) min.
+        EventNode* best_prev = nullptr;
+        EventNode* best = buckets_[b];
+        EventNode* prev = buckets_[b];
+        for (EventNode* n = best->next; n != nullptr; n = n->next) {
+          if (n->tick < best->tick ||
+              (n->tick == best->tick && n->order < best->order)) {
+            best = n;
+            best_prev = prev;
+          }
+          prev = n;
+        }
+        if (best->tick > limit) return nullptr;
+        if (best_prev == nullptr) {
+          buckets_[b] = best->next;
+        } else {
+          best_prev->next = best->next;
+        }
+        if (buckets_[b] == nullptr) {
+          bucket_bits_[b >> 6] &= ~(u64{1} << (b & 63));
+        }
+        --pending_;
+        return best;
+      }
+    }
+    // Wheel dry: pull the far list in — but only when its earliest event
+    // is due, so the window base never jumps past an event that would
+    // then be scheduled "behind" it.
+    if (far_ == nullptr || far_min_tick_ > limit) return nullptr;
+    migrate_far();
+  }
+}
+
+void Simulator::fire(EventNode* n) {
+  TW_ASSERT(n->tick >= now_);
+  now_ = n->tick;
   ++executed_;
   if (observer_) observer_(now_, executed_);
-  ev.fn();
+  n->fn();  // may schedule further events; n is already unlinked
+  free_node(n);
+}
+
+void Simulator::schedule_at(Tick at, Callback fn, Priority prio) {
+  TW_EXPECTS(at >= now_);
+  TW_EXPECTS(fn != nullptr);
+  EventNode* n = alloc_node();
+  n->tick = at;
+  n->order = (static_cast<u64>(prio) << 56) | seq_++;
+  n->fn = std::move(fn);
+  insert(n);
+  ++pending_;
+}
+
+u64 Simulator::run(Tick limit) {
+  u64 fired = 0;
+  while (EventNode* n = pop_earliest(limit)) {
+    fire(n);
+    ++fired;
+  }
+  // Advance the clock to the limit: everything left is strictly later.
+  if (limit != kTickMax && now_ < limit) now_ = limit;
+  return fired;
+}
+
+bool Simulator::step() {
+  EventNode* n = pop_earliest(kTickMax);
+  if (n == nullptr) return false;
+  fire(n);
   return true;
 }
 
 void Simulator::clear() {
-  queue_ = {};
+  for (u32 b = 0; b < kNumBuckets; ++b) {
+    EventNode* n = buckets_[b];
+    buckets_[b] = nullptr;
+    while (n != nullptr) {
+      EventNode* next = n->next;
+      free_node(n);
+      n = next;
+    }
+  }
+  bucket_bits_.fill(0);
+  EventNode* n = far_;
+  far_ = nullptr;
+  far_min_tick_ = kTickMax;
+  while (n != nullptr) {
+    EventNode* next = n->next;
+    free_node(n);
+    n = next;
+  }
+  pending_ = 0;
+  wheel_base_day_ = day_of(now_);
+  min_day_hint_ = wheel_base_day_;
 }
 
 }  // namespace tw::sim

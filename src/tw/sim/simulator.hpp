@@ -4,13 +4,32 @@
 // Deterministic: events at the same tick fire in (priority, insertion order)
 // sequence. Callbacks may schedule further events. Single-threaded by
 // design — cross-experiment parallelism happens at the harness level.
+//
+// The kernel is allocation-free in steady state:
+//
+//   * callbacks are small-buffer inline functions (capture ≤ 48 B,
+//     enforced at compile time — a too-large capture is a build error,
+//     never a silent heap allocation);
+//   * events live in pooled nodes recycled through a free list;
+//   * the pending set is a two-level calendar queue: a 16384-bucket wheel
+//     (64-tick-wide buckets, ~1 µs horizon — wider than Tset, so every
+//     device-timing event hits the wheel) plus an overflow list for
+//     events beyond the horizon, migrated in when the wheel drains.
+//
+// Ordering guarantee: events fire in strictly increasing
+// (tick, priority, insertion-sequence) order regardless of which level
+// they pass through — same-tick ties break by priority, then FIFO.
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "tw/common/assert.hpp"
+#include "tw/common/inline_function.hpp"
 #include "tw/common/types.hpp"
 
 namespace tw::sim {
@@ -26,7 +45,13 @@ enum class Priority : u8 {
 /// Discrete-event simulator with a monotonically advancing clock.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget for event callbacks. Large state (e.g. a full
+  /// MemoryRequest) must live in pooled component state with the callback
+  /// capturing an index — see Controller's read-slot pool.
+  static constexpr std::size_t kCallbackCapacity = 48;
+
+  /// Move-only inline callback; oversized captures fail to compile.
+  using Callback = BasicInlineFunction<kCallbackCapacity, false>;
 
   /// Invoked immediately before each event's callback runs, with the
   /// event's tick and the running executed-event count. Used by the
@@ -34,7 +59,13 @@ class Simulator {
   /// per-event invariant hooks) and by tracing tools.
   using Observer = std::function<void(Tick now, u64 executed)>;
 
-  /// Install (or clear, with nullptr) the per-event observer.
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Install (or clear, with nullptr) the per-event observer. An unset
+  /// observer costs one predicted-not-taken branch per event.
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 
   /// Current simulated time.
@@ -58,7 +89,7 @@ class Simulator {
   bool step();
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return pending_; }
 
   /// Total events executed so far.
   u64 executed() const { return executed_; }
@@ -67,24 +98,59 @@ class Simulator {
   void clear();
 
  private:
-  struct Event {
-    Tick tick;
-    u8 prio;
-    u64 seq;
+  // Calendar-queue geometry. Bucket width 2^6 ticks (64 ps) keeps bucket
+  // occupancy near one event even for dense completion bursts, and 2^14
+  // buckets give a ~1 µs horizon: every PCM device delay (Tset = 430 ns
+  // is the longest) lands in the wheel; only long CPU gaps and test
+  // constructions overflow to the far list.
+  static constexpr u32 kWidthShift = 6;
+  static constexpr u32 kBucketBits = 14;
+  static constexpr u32 kNumBuckets = 1u << kBucketBits;
+  static constexpr u32 kBucketMask = kNumBuckets - 1;
+  static constexpr u32 kChunkNodes = 128;  ///< pool growth granularity
+
+  struct EventNode {
+    Tick tick = 0;
+    u64 order = 0;  ///< (priority << 56) | insertion seq: same-tick order
+    EventNode* next = nullptr;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.tick != b.tick) return a.tick > b.tick;
-      if (a.prio != b.prio) return a.prio > b.prio;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr u64 day_of(Tick t) { return t >> kWidthShift; }
+
+  EventNode* alloc_node();
+  void free_node(EventNode* n);
+  void insert(EventNode* n);
+  void bucket_insert(EventNode* n, u32 b);
+  /// Unlink and return the earliest event with tick <= limit, or nullptr.
+  EventNode* pop_earliest(Tick limit);
+  /// Move far-list events whose day entered the wheel window into buckets.
+  void migrate_far();
+  /// First set bucket at circular offset in [0, span) from `start`, or
+  /// `span` when none.
+  u32 find_set_offset(u32 start, u32 span) const;
+  void fire(EventNode* n);
+
+  // Level 1: the wheel. One unsorted intrusive list per bucket; every
+  // node in a bucket shares the same "day" (tick >> kWidthShift), so the
+  // first nonempty bucket at or after now holds the earliest events.
+  std::array<EventNode*, kNumBuckets> buckets_{};
+  std::array<u64, kNumBuckets / 64> bucket_bits_{};
+  u64 wheel_base_day_ = 0;  ///< wheel window covers [base, base + 16384) days
+  u64 min_day_hint_ = 0;    ///< no pending wheel event has day < hint
+
+  // Level 2: far events (day >= base + 256), unsorted, with cached min.
+  EventNode* far_ = nullptr;
+  Tick far_min_tick_ = kTickMax;
+
+  // Node pool: chunked storage + LIFO free list (hot nodes recycle first).
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  EventNode* free_ = nullptr;
+
   Tick now_ = 0;
   u64 seq_ = 0;
   u64 executed_ = 0;
+  std::size_t pending_ = 0;
   Observer observer_;
 };
 

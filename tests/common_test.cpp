@@ -247,6 +247,24 @@ TEST(Parallel, ForSingleThreadDegenerate) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(Parallel, ForFewerItemsThanThreads) {
+  // n < requested thread count: clamp, don't deadlock or skip work.
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(
+      3, [&](std::size_t i) { hits[i]++; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ForNestedFallsBackToSerial) {
+  // A parallel_for issued from inside a pool worker must run inline
+  // instead of waiting on pool helpers (deadlocks with one worker).
+  std::atomic<int> total{0};
+  parallel_for(4, [&](std::size_t) {
+    parallel_for(4, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
 TEST(Parallel, ThreadPoolRunsJobs) {
   ThreadPool pool(4);
   std::atomic<int> n{0};
