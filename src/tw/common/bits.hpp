@@ -77,4 +77,34 @@ constexpr u64 low_mask(u32 n) {
   return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
 }
 
+// -- Word-array bitmaps (the controller's non-empty-queue masks) ----------
+
+/// Set bit `i` in a multi-word bitmap.
+inline void bitmap_set(std::span<u64> words, u32 i) {
+  words[i >> 6] |= u64{1} << (i & 63);
+}
+
+/// Clear bit `i` in a multi-word bitmap.
+inline void bitmap_clear(std::span<u64> words, u32 i) {
+  words[i >> 6] &= ~(u64{1} << (i & 63));
+}
+
+/// Test bit `i` in a multi-word bitmap.
+inline bool bitmap_test(std::span<const u64> words, u32 i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+/// Invoke `fn(u32 index)` for every set bit, lowest index first.
+template <class Fn>
+inline void bitmap_for_each(std::span<const u64> words, Fn&& fn) {
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    u64 bits = words[w];
+    while (bits != 0) {
+      const u32 bit = static_cast<u32>(std::countr_zero(bits));
+      fn(static_cast<u32>(w * 64) + bit);
+      bits &= bits - 1;
+    }
+  }
+}
+
 }  // namespace tw

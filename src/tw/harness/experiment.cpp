@@ -47,6 +47,12 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.write_pauses = reg.counter("mem.write_pauses").value();
   m.gap_moves = reg.counter("mem.gap_moves").value();
   m.writes_batched = reg.counter("mem.writes_batched").value();
+  m.reads_forwarded = reg.counter("mem.reads_forwarded").value();
+  m.writes_coalesced = reg.counter("mem.writes_coalesced").value();
+  m.read_q_peak = controller.read_queue_peak();
+  m.write_q_peak = controller.write_queue_peak();
+  m.dispatch_rounds = reg.counter("mem.dispatch_rounds").value();
+  m.row_hits = reg.counter("mem.row_hits").value();
   return m;
 }
 

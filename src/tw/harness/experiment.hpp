@@ -50,6 +50,13 @@ struct RunMetrics {
   u64 write_pauses = 0;   ///< write-pausing preemptions
   u64 gap_moves = 0;      ///< Start-Gap migration writes
   u64 writes_batched = 0; ///< writes serviced in multi-line batches
+  // Controller queue statistics (thread-count invariant like the rest).
+  u64 reads_forwarded = 0;   ///< reads served from queued write data
+  u64 writes_coalesced = 0;  ///< writes merged into a queued same-line write
+  u64 read_q_peak = 0;       ///< deepest the read queue ever got
+  u64 write_q_peak = 0;      ///< deepest the write queue ever got
+  u64 dispatch_rounds = 0;   ///< controller scheduling rounds executed
+  u64 row_hits = 0;          ///< consecutive same-row activations per bank
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

@@ -1,8 +1,11 @@
 #include "tw/mem/controller.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "tw/common/assert.hpp"
+#include "tw/common/bits.hpp"
+#include "tw/common/inline_vec.hpp"
 
 namespace tw::mem {
 
@@ -20,6 +23,12 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       banks_(map_.total_banks()),
       subarrays_(map_.total_subarrays()),
       energy_(pcm_cfg.energy),
+      read_by_sub_(map_.total_subarrays()),
+      write_by_bank_(map_.total_banks()),
+      subs_with_reads_((map_.total_subarrays() + 63) / 64, 0),
+      banks_with_writes_((map_.total_banks() + 63) / 64, 0),
+      static_mapping_(!cfg.wear_leveling),
+      open_row_(map_.total_banks()),
       active_write_(map_.total_banks()),
       paused_write_(map_.total_banks()),
       bank_epoch_(map_.total_banks(), 0),
@@ -32,6 +41,9 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       c_pauses_(registry.counter("mem.write_pauses")),
       c_gap_moves_(registry.counter("mem.gap_moves")),
       c_batched_(registry.counter("mem.writes_batched")),
+      c_row_hits_(registry.counter("mem.row_hits")),
+      c_row_misses_(registry.counter("mem.row_misses")),
+      c_dispatches_(registry.counter("mem.dispatch_rounds")),
       a_read_latency_(registry.accumulator("mem.read_latency_ns")),
       a_write_latency_(registry.accumulator("mem.write_latency_ns")),
       a_write_units_(registry.accumulator("mem.write_units")),
@@ -40,7 +52,186 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
   TW_EXPECTS(cfg_.valid());
   pcm_.validate();
+  read_ready_.reserve(map_.total_subarrays());
 }
+
+// -- Node plumbing --------------------------------------------------------
+
+u32 Controller::make_node(MemoryRequest&& req, u32 bucket) {
+  const u32 id = nodes_.alloc();
+  ReqNode& n = nodes_[id];
+  n.req = std::move(req);
+  n.bucket = bucket;
+  return id;
+}
+
+MemoryRequest Controller::take_node(u32 id) {
+  MemoryRequest req = std::move(nodes_[id].req);
+  nodes_.release(id);
+  return req;
+}
+
+void Controller::link_read(u32 id) {
+  read_age_.push_back(nodes_, id);
+  const u32 sub = nodes_[id].bucket;
+  read_by_sub_[sub].push_back(nodes_, id);
+  bitmap_set(subs_with_reads_, sub);
+  read_q_peak_ = std::max(read_q_peak_, read_age_.size());
+}
+
+void Controller::unlink_read(u32 id) {
+  const u32 sub = nodes_[id].bucket;
+  read_age_.erase(nodes_, id);
+  read_by_sub_[sub].erase(nodes_, id);
+  if (read_by_sub_[sub].empty()) bitmap_clear(subs_with_reads_, sub);
+}
+
+void Controller::link_write(u32 id) {
+  write_age_.push_back(nodes_, id);
+  const u32 bank = nodes_[id].bucket;
+  write_by_bank_[bank].push_back(nodes_, id);
+  bitmap_set(banks_with_writes_, bank);
+  write_q_peak_ = std::max(write_q_peak_, write_age_.size());
+}
+
+void Controller::unlink_write(u32 id) {
+  const u32 bank = nodes_[id].bucket;
+  write_age_.erase(nodes_, id);
+  write_by_bank_[bank].erase(nodes_, id);
+  if (write_by_bank_[bank].empty()) bitmap_clear(banks_with_writes_, bank);
+}
+
+// -- Open-row tracking ----------------------------------------------------
+
+bool Controller::row_hit(u32 bank, Addr phys) const {
+  const OpenRow& open = open_row_[bank];
+  return open.valid && open.row == map_.decode(phys).row;
+}
+
+void Controller::note_row_activate(u32 bank, Addr phys) {
+  OpenRow& open = open_row_[bank];
+  const u64 row = map_.decode(phys).row;
+  if (open.valid && open.row == row) {
+    c_row_hits_.inc();
+  } else {
+    c_row_misses_.inc();
+  }
+  open.row = row;
+  open.valid = true;
+}
+
+// -- Enqueue --------------------------------------------------------------
+
+bool Controller::enqueue(MemoryRequest req) {
+  req.addr = map_.line_of(req.addr);
+  req.enqueue_tick = sim_.now();
+  req.id = next_id_++;
+
+  if (req.is_write()) {
+    TW_EXPECTS(req.data.units() == store_.units_per_line());
+    // Buckets are keyed by the *logical* address: identical to the
+    // physical location when the mapping is static (the only case the
+    // indexed paths consult them), and a harmless advisory grouping
+    // otherwise.
+    const u32 bank = map_.flat_bank(req.addr);
+    if (cfg_.write_coalescing) {
+      if (static_mapping_) {
+        // Same-line writes necessarily share the bank: scan one bucket.
+        const BucketList& list = write_by_bank_[bank];
+        for (u32 id = list.head(); id != kNilIndex;
+             id = list.next(nodes_, id)) {
+          if (nodes_[id].req.addr == req.addr) {
+            nodes_[id].req.data = req.data;
+            c_coalesced_.inc();
+            return true;
+          }
+        }
+      } else {
+        for (u32 id = write_age_.head(); id != kNilIndex;
+             id = write_age_.next(nodes_, id)) {
+          if (nodes_[id].req.addr == req.addr) {
+            nodes_[id].req.data = req.data;
+            c_coalesced_.inc();
+            return true;
+          }
+        }
+      }
+    }
+    if (write_age_.size() >= cfg_.write_queue_entries) return false;
+    link_write(make_node(std::move(req), bank));
+    if (write_age_.size() >= cfg_.write_queue_entries) draining_ = true;
+  } else {
+    if (cfg_.read_forwarding) {
+      // Youngest match wins, as the reference's reverse iteration; the
+      // bucket list preserves relative queue order, so scanning it
+      // backwards finds the same entry.
+      u32 match = kNilIndex;
+      if (static_mapping_) {
+        const BucketList& list = write_by_bank_[map_.flat_bank(req.addr)];
+        for (u32 id = list.tail(); id != kNilIndex;
+             id = list.prev(nodes_, id)) {
+          if (nodes_[id].req.addr == req.addr) {
+            match = id;
+            break;
+          }
+        }
+      } else {
+        for (u32 id = write_age_.tail(); id != kNilIndex;
+             id = write_age_.prev(nodes_, id)) {
+          if (nodes_[id].req.addr == req.addr) {
+            match = id;
+            break;
+          }
+        }
+      }
+      if (match != kNilIndex) {
+        c_forwarded_.inc();
+        c_reads_.inc();
+        MemoryRequest done = req;
+        done.start_tick = sim_.now();
+        done.complete_tick = sim_.now() + cfg_.forward_latency;
+        const double lat_ns = to_ns(cfg_.forward_latency);
+        a_read_latency_.add(lat_ns);
+        h_read_latency_.add(static_cast<u64>(lat_ns));
+        const u32 slot = acquire_read_slot(std::move(done));
+        sim_.schedule_in(
+            cfg_.forward_latency,
+            [this, slot] {
+              const MemoryRequest fwd = take_read_slot(slot);
+              if (on_read_) on_read_(fwd);
+            },
+            sim::Priority::kDeviceComplete);
+        return true;
+      }
+    }
+    if (read_age_.size() >= cfg_.read_queue_entries) return false;
+    link_read(make_node(std::move(req), map_.flat_subarray(req.addr)));
+  }
+
+  if (!dispatch_scheduled_) {
+    dispatch_scheduled_ = true;
+    sim_.schedule_in(0, [this] { dispatch(); }, sim::Priority::kController);
+  }
+  return true;
+}
+
+bool Controller::idle() const {
+  return read_age_.empty() && write_age_.empty() && inflight_ == 0 &&
+         paused_count_ == 0;
+}
+
+Addr Controller::physical_of(Addr logical_line_addr) {
+  if (!cfg_.wear_leveling) return logical_line_addr;
+  const u64 li = map_.line_index(logical_line_addr);
+  const u64 n = cfg_.start_gap.region_lines;
+  const u64 region = li / n;
+  const u64 within = li % n;
+  const u64 slot = leveler_for(region).map(within);
+  const u64 phys_line = region * (n + 1) + slot;
+  return phys_line * map_.line_bytes();
+}
+
+u64 Controller::gap_moves() const { return c_gap_moves_.value(); }
 
 u32 Controller::acquire_read_slot(MemoryRequest&& req) {
   if (!free_read_slots_.empty()) {
@@ -60,201 +251,312 @@ MemoryRequest Controller::take_read_slot(u32 slot) {
 }
 
 StartGapLeveler& Controller::leveler_for(u64 region) {
-  auto it = levelers_.find(region);
-  if (it == levelers_.end()) {
-    it = levelers_.emplace(region, StartGapLeveler(cfg_.start_gap)).first;
-  }
-  return it->second;
-}
-
-Addr Controller::physical_of(Addr logical_line_addr) {
-  if (!cfg_.wear_leveling) return logical_line_addr;
-  const u64 li = map_.line_index(logical_line_addr);
-  const u64 n = cfg_.start_gap.region_lines;
-  const u64 region = li / n;
-  const u64 within = li % n;
-  const u64 slot = leveler_for(region).map(within);
-  // Physical space has one extra slot per region.
-  const u64 phys_line = region * (n + 1) + slot;
-  return phys_line * map_.line_bytes();
-}
-
-bool Controller::enqueue(MemoryRequest req) {
-  req.addr = map_.line_of(req.addr);
-  req.enqueue_tick = sim_.now();
-  req.id = next_id_++;
-
-  if (req.is_write()) {
-    TW_EXPECTS(req.data.units() == store_.units_per_line());
-    if (cfg_.write_coalescing) {
-      for (auto& w : write_q_) {
-        if (w.addr == req.addr) {
-          // Merge: newest data wins; the queued slot keeps its age so the
-          // oldest-first policy is unaffected.
-          w.data = req.data;
-          c_coalesced_.inc();
-          return true;
-        }
-      }
-    }
-    if (write_q_.size() >= cfg_.write_queue_entries) return false;
-    write_q_.push_back(std::move(req));
-    if (write_q_.size() >= cfg_.write_queue_entries) draining_ = true;
-  } else {
-    if (cfg_.read_forwarding) {
-      // Serve from the newest queued write to the same line.
-      for (auto it = write_q_.rbegin(); it != write_q_.rend(); ++it) {
-        if (it->addr == req.addr) {
-          c_forwarded_.inc();
-          c_reads_.inc();
-          MemoryRequest done = req;
-          done.start_tick = sim_.now();
-          done.complete_tick = sim_.now() + cfg_.forward_latency;
-          const double lat_ns = to_ns(cfg_.forward_latency);
-          a_read_latency_.add(lat_ns);
-          h_read_latency_.add(static_cast<u64>(lat_ns));
-          const u32 slot = acquire_read_slot(std::move(done));
-          sim_.schedule_in(
-              cfg_.forward_latency,
-              [this, slot] {
-                const MemoryRequest fwd = take_read_slot(slot);
-                if (on_read_) on_read_(fwd);
-              },
-              sim::Priority::kDeviceComplete);
-          return true;
-        }
-      }
-    }
-    if (read_q_.size() >= cfg_.read_queue_entries) return false;
-    read_q_.push_back(std::move(req));
-  }
-
-  if (!dispatch_scheduled_) {
-    dispatch_scheduled_ = true;
-    sim_.schedule_in(0, [this] { dispatch(); }, sim::Priority::kController);
-  }
-  return true;
-}
-
-bool Controller::idle() const {
-  bool paused = false;
-  for (const auto& p : paused_write_) paused = paused || p.has_value();
-  return read_q_.empty() && write_q_.empty() && inflight_ == 0 && !paused;
+  // Regions are dense under the bounded trace address spaces: a flat
+  // array replaces the reference's unordered_map lookup on the write
+  // issue path.
+  if (region >= levelers_.size()) levelers_.resize(region + 1);
+  if (!levelers_[region].has_value()) levelers_[region].emplace(cfg_.start_gap);
+  return *levelers_[region];
 }
 
 bool Controller::read_waiting_for_subarray(u32 subarray) {
-  for (const auto& r : read_q_) {
-    if (map_.flat_subarray(physical_of(r.addr)) == subarray) return true;
+  if (static_mapping_) return !read_by_sub_[subarray].empty();
+  for (u32 id = read_age_.head(); id != kNilIndex;
+       id = read_age_.next(nodes_, id)) {
+    if (map_.flat_subarray(physical_of(nodes_[id].req.addr)) == subarray) {
+      return true;
+    }
   }
   return false;
 }
 
 void Controller::schedule_dispatch() {
-  // All dispatches triggered by completions are deferred to a
-  // controller-priority event at the current tick: device completions at
-  // the same tick must all process before any new command issues, or a
-  // write finishing exactly when another begins on its bank loses its
-  // completion to the epoch check.
   if (dispatch_scheduled_) return;
   dispatch_scheduled_ = true;
   sim_.schedule_in(0, [this] { dispatch(); }, sim::Priority::kController);
 }
 
+// -- Scheduling -----------------------------------------------------------
+
 void Controller::dispatch() {
   dispatch_scheduled_ = false;
+  c_dispatches_.inc();
   const Tick now = sim_.now();
 
-  // Reads first: oldest-first over idle subarrays (a read only needs its
-  // own subarray free — writes elsewhere in the bank do not block it);
-  // if the target subarray is being written by a pausable write, pause
-  // that write at the next write-unit boundary.
-  for (auto it = read_q_.begin(); it != read_q_.end();) {
-    const Addr phys = physical_of(it->addr);
-    const u32 subarray = map_.flat_subarray(phys);
-    if (subarrays_[subarray].idle_at(now)) {
-      MemoryRequest req = std::move(*it);
-      it = read_q_.erase(it);
-      issue_read(std::move(req));
-      notify_space();
-    } else {
-      if (cfg_.write_pausing) try_pause(map_.flat_bank(phys), subarray);
-      ++it;
-    }
+  // Reads first (FRFCFS priority). The indexed path needs the ready set
+  // to be stable across the sweep: write pausing can free a subarray
+  // mid-sweep (a pause boundary may land exactly on `now`), so it falls
+  // back to the exact age-ordered walk, as does a non-static mapping.
+  if (static_mapping_ && !cfg_.write_pausing) {
+    dispatch_reads_indexed(now);
+  } else {
+    dispatch_reads_exact(now);
   }
 
-  // Writes: strict policy drains only between the full and low marks;
-  // opportunistic policy also issues when no reads are pending.
-  if (draining_ && write_q_.size() <= cfg_.drain_low_watermark) {
+  if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
     draining_ = false;
   }
   const bool issue_writes =
       draining_ ||
       (cfg_.drain == ControllerConfig::DrainPolicy::kOpportunistic &&
-       read_q_.empty() && !write_q_.empty());
+       read_age_.empty() && !write_age_.empty());
   if (issue_writes) {
-    for (auto it = write_q_.begin(); it != write_q_.end();) {
-      if (!draining_ &&
-          cfg_.drain != ControllerConfig::DrainPolicy::kOpportunistic) {
-        break;  // strict drain ended mid-loop
-      }
-      const Addr phys_w = physical_of(it->addr);
-      const u32 bank = map_.flat_bank(phys_w);
-      const u32 subarray_w = map_.flat_subarray(phys_w);
-      if (banks_[bank].idle_at(now) && subarrays_[subarray_w].idle_at(now) &&
-          !paused_write_[bank].has_value()) {
-        MemoryRequest req = std::move(*it);
-        it = write_q_.erase(it);
-        if (cfg_.write_batch > 1) {
-          // Gather further queued writes for the same bank.
-          std::vector<MemoryRequest> batch;
-          batch.push_back(std::move(req));
-          for (auto scan = it;
-               scan != write_q_.end() && batch.size() < cfg_.write_batch;) {
-            if (map_.flat_bank(physical_of(scan->addr)) == bank) {
-              batch.push_back(std::move(*scan));
-              scan = write_q_.erase(scan);
-            } else {
-              ++scan;
-            }
-          }
-          it = write_q_.begin();  // erase invalidated the iterator chain
-          if (batch.size() > 1) {
-            issue_write_batch(std::move(batch));
-          } else {
-            issue_write(std::move(batch.front()));
-          }
-        } else {
-          issue_write(std::move(req));
-        }
-        notify_space();
-        if (draining_ && write_q_.size() <= cfg_.drain_low_watermark) {
-          draining_ = false;
-        }
-      } else {
-        ++it;
-      }
+    if (static_mapping_) {
+      dispatch_writes_indexed(now);
+    } else {
+      dispatch_writes_exact(now);
     }
   }
 
-  // Resume paused writes once no read is waiting for their subarray.
-  for (u32 bank = 0; bank < paused_write_.size(); ++bank) {
-    if (paused_write_[bank].has_value() && banks_[bank].idle_at(now) &&
-        subarrays_[paused_write_[bank]->subarray].idle_at(now) &&
-        !read_waiting_for_subarray(paused_write_[bank]->subarray)) {
-      resume_paused(bank);
+  if (paused_count_ > 0) {
+    for (u32 bank = 0; bank < paused_write_.size(); ++bank) {
+      if (paused_write_[bank].has_value() && banks_[bank].idle_at(now) &&
+          subarrays_[paused_write_[bank]->subarray].idle_at(now) &&
+          !read_waiting_for_subarray(paused_write_[bank]->subarray)) {
+        resume_paused(bank);
+      }
     }
   }
 }
 
+u32 Controller::read_cursor(u32 sub, bool* hit_out) const {
+  const BucketList& list = read_by_sub_[sub];
+  const u32 head = list.head();
+  *hit_out = false;
+  if (head == kNilIndex || !cfg_.row_hit_first) return head;
+  const u32 bank = sub / map_.subarrays_per_bank();
+  for (u32 id = head; id != kNilIndex; id = list.next(nodes_, id)) {
+    if (row_hit(bank, nodes_[id].req.addr)) {
+      *hit_out = true;
+      return id;
+    }
+  }
+  return head;
+}
+
+u32 Controller::write_cursor(u32 bank, u32 from, Tick now,
+                             bool* hit_out) const {
+  const BucketList& list = write_by_bank_[bank];
+  u32 first_ready = kNilIndex;
+  for (u32 id = from; id != kNilIndex; id = list.next(nodes_, id)) {
+    const Addr addr = nodes_[id].req.addr;  // physical == logical here
+    if (!subarrays_[map_.flat_subarray(addr)].idle_at(now)) continue;
+    if (!cfg_.row_hit_first) {
+      *hit_out = false;
+      return id;
+    }
+    if (row_hit(bank, addr)) {
+      *hit_out = true;
+      return id;
+    }
+    if (first_ready == kNilIndex) first_ready = id;
+  }
+  *hit_out = false;
+  return first_ready;
+}
+
+void Controller::dispatch_reads_indexed(Tick now) {
+  // Issue every ready read in age order. Within one dispatch, issuing
+  // only occupies the issuing subarray (the ready set shrinks
+  // monotonically) and the space callback can only append younger
+  // requests, so collecting each ready bucket's head once and issuing
+  // the sorted batch reproduces the exact issue order of repeated
+  // best-ready selection — O(s + k log s) per round instead of O(k*s).
+  //
+  // The outer loop always re-collects (new arrivals during the batch are
+  // younger than every batch element, so they issue strictly after it —
+  // on the next pass) and terminates on an empty collection; the common
+  // tail is one empty bitmap scan. Two cases additionally cut a batch
+  // short to force the fresh pass early: a zero-latency service leaves
+  // the issued subarray ready with a new head, and under row-hit-first a
+  // younger arrival can outrank queued misses.
+  for (;;) {
+    read_ready_.clear();
+    bitmap_for_each(subs_with_reads_, [&](u32 sub) {
+      if (!subarrays_[sub].idle_at(now)) return;
+      bool hit = false;
+      const u32 id = read_cursor(sub, &hit);
+      if (id != kNilIndex) read_ready_.push_back({id, sub, hit});
+    });
+    if (read_ready_.empty()) break;
+    std::sort(read_ready_.begin(), read_ready_.end(),
+              [&](const ReadCursor& a, const ReadCursor& b) {
+                if (a.hit != b.hit) return a.hit;
+                return nodes_[a.node].req.id < nodes_[b.node].req.id;
+              });
+    for (const ReadCursor& cur : read_ready_) {
+      const u32 sub = cur.sub;
+      unlink_read(cur.node);
+      issue_read(take_node(cur.node));
+      notify_space();
+      if (cfg_.row_hit_first || subarrays_[sub].idle_at(now)) break;
+    }
+  }
+}
+
+void Controller::dispatch_reads_exact(Tick now) {
+  u32 id = read_age_.head();
+  while (id != kNilIndex) {
+    const u32 nxt = read_age_.next(nodes_, id);
+    const Addr phys = physical_of(nodes_[id].req.addr);
+    const u32 subarray = map_.flat_subarray(phys);
+    if (subarrays_[subarray].idle_at(now)) {
+      unlink_read(id);
+      issue_read(take_node(id));
+      notify_space();
+    } else if (cfg_.write_pausing) {
+      try_pause(map_.flat_bank(phys), subarray);
+    }
+    id = nxt;
+  }
+}
+
+void Controller::dispatch_writes_indexed(Tick now) {
+  // One cursor per ready bank (idle, unpaused, non-empty bucket), then a
+  // k-way min-selection by age. Issuing on one bank never invalidates
+  // another bank's cursor within a dispatch — distinct banks own
+  // disjoint subarrays — so only the issuing bank's cursor is refreshed.
+  struct Cursor {
+    u32 node;
+    u32 bank;
+    bool hit;
+  };
+  InlineVec<Cursor, 64> ready;
+  bitmap_for_each(banks_with_writes_, [&](u32 bank) {
+    if (!banks_[bank].idle_at(now) || paused_write_[bank].has_value()) return;
+    bool hit = false;
+    const u32 id = write_cursor(bank, write_by_bank_[bank].head(), now, &hit);
+    if (id != kNilIndex) ready.push_back({id, bank, hit});
+  });
+
+  while (!ready.empty()) {
+    // The strict policy stops the sweep the moment draining clears.
+    if (!draining_ &&
+        cfg_.drain != ControllerConfig::DrainPolicy::kOpportunistic) {
+      break;
+    }
+    u32 best = 0;
+    for (u32 i = 1; i < ready.size(); ++i) {
+      const bool better =
+          (ready[i].hit != ready[best].hit)
+              ? ready[i].hit
+              : nodes_[ready[i].node].req.id < nodes_[ready[best].node].req.id;
+      if (better) best = i;
+    }
+    const Cursor cur = ready[best];
+    ready[best] = ready[ready.size() - 1];
+    ready.pop_back();
+
+    const u32 bank = cur.bank;
+    u32 resume_from = kNilIndex;
+    if (cfg_.write_batch > 1) {
+      // Batch formation walks only this bank's list: the candidate plus
+      // its same-bank successors up to the batch limit, irrespective of
+      // subarray state (matching the reference gather, which filters the
+      // global queue by bank only).
+      std::vector<MemoryRequest> batch;
+      u32 id = cur.node;
+      while (id != kNilIndex && batch.size() < cfg_.write_batch) {
+        const u32 nxt = write_by_bank_[bank].next(nodes_, id);
+        unlink_write(id);
+        batch.push_back(take_node(id));
+        id = nxt;
+      }
+      resume_from = id;
+      if (batch.size() > 1) {
+        issue_write_batch(std::move(batch));
+      } else {
+        issue_write(std::move(batch.front()));
+      }
+    } else {
+      resume_from = write_by_bank_[bank].next(nodes_, cur.node);
+      unlink_write(cur.node);
+      issue_write(take_node(cur.node));
+    }
+    notify_space();
+    if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
+      draining_ = false;
+    }
+
+    // Normally the bank is now busy until the service completes and it
+    // drops out of this round. A zero-latency service plan (e.g. a
+    // preset scheme with no RESETs pending) leaves it idle, in which
+    // case the age-ordered sweep would keep walking: re-derive this
+    // bank's cursor from the issued node's successor (earlier entries
+    // were unissuable, and nothing un-occupies within a dispatch).
+    // row_hit_first rescans from the head because the open row changed.
+    if (banks_[bank].idle_at(now) && !paused_write_[bank].has_value()) {
+      const u32 from =
+          cfg_.row_hit_first ? write_by_bank_[bank].head() : resume_from;
+      if (from != kNilIndex) {
+        bool hit = false;
+        const u32 id = write_cursor(bank, from, now, &hit);
+        if (id != kNilIndex) ready.push_back({id, bank, hit});
+      }
+    }
+  }
+}
+
+void Controller::dispatch_writes_exact(Tick now) {
+  u32 id = write_age_.head();
+  while (id != kNilIndex) {
+    if (!draining_ &&
+        cfg_.drain != ControllerConfig::DrainPolicy::kOpportunistic) {
+      break;
+    }
+    u32 nxt = write_age_.next(nodes_, id);
+    const Addr phys_w = physical_of(nodes_[id].req.addr);
+    const u32 bank = map_.flat_bank(phys_w);
+    const u32 subarray_w = map_.flat_subarray(phys_w);
+    if (banks_[bank].idle_at(now) && subarrays_[subarray_w].idle_at(now) &&
+        !paused_write_[bank].has_value()) {
+      unlink_write(id);
+      MemoryRequest req = take_node(id);
+      if (cfg_.write_batch > 1) {
+        std::vector<MemoryRequest> batch;
+        batch.push_back(std::move(req));
+        u32 scan = nxt;
+        while (scan != kNilIndex && batch.size() < cfg_.write_batch) {
+          const u32 snxt = write_age_.next(nodes_, scan);
+          if (map_.flat_bank(physical_of(nodes_[scan].req.addr)) == bank) {
+            unlink_write(scan);
+            batch.push_back(take_node(scan));
+          }
+          scan = snxt;
+        }
+        if (batch.size() > 1) {
+          issue_write_batch(std::move(batch));
+        } else {
+          issue_write(std::move(batch.front()));
+        }
+        // Legacy restart (reference: `it = write_q_.begin()` after the
+        // batch erase): gap moves triggered by the issue can remap older
+        // skipped entries onto now-idle banks, so rescan from the head.
+        nxt = write_age_.head();
+      } else {
+        issue_write(std::move(req));
+      }
+      notify_space();
+      if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
+        draining_ = false;
+      }
+    }
+    id = nxt;
+  }
+}
+
+// -- Device issue paths ---------------------------------------------------
+
 void Controller::issue_read(MemoryRequest req) {
   const Tick now = sim_.now();
-  const u32 subarray = map_.flat_subarray(physical_of(req.addr));
+  const Addr phys = physical_of(req.addr);
+  const u32 subarray = map_.flat_subarray(phys);
   const Tick service = scheme_.read_latency() + cfg_.read_bus_time;
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
   c_reads_.inc();
-  energy_.add_read(store_.units_per_line() *
-                   pcm_.geometry.data_unit_bits);
+  note_row_activate(map_.flat_bank(phys), phys);
+  energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
 
   req.start_tick = now;
   req.complete_tick = now + service;
@@ -291,24 +593,23 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     c_flipped_units_.inc(plan.flipped_units);
     energy_.add_write(plan.programmed);
     if (plan.background.total() > 0) {
-      // PreSET-style off-critical-path pulses still burn energy and wear.
       energy_.add_write(plan.background);
       wear_.record(phys, plan.background);
     }
     if (plan.read_before_write) {
-      energy_.add_read(store_.units_per_line() *
-                       pcm_.geometry.data_unit_bits);
+      energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
     }
     wear_.record(phys, plan.programmed);
     a_write_units_.add(plan.write_units);
     a_write_service_.add(to_ns(plan.latency));
+    note_row_activate(bank, phys);
   }
 
   banks_[bank].occupy(now, service);
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
 
-  TW_ASSERT(!active_write_[bank].has_value());  // never clobber a write
+  TW_ASSERT(!active_write_[bank].has_value());
   const u64 epoch = ++bank_epoch_[bank];
   ActiveWrite active;
   active.req = std::move(req);
@@ -323,11 +624,9 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
       service, [this, bank, epoch] { complete_write(bank, epoch); },
       sim::Priority::kDeviceComplete);
 
-  // Wear leveling: this demand write may trigger a gap movement.
   if (cfg_.wear_leveling && service_override == 0) {
-    const u64 region =
-        map_.line_index(active_write_[bank]->req.addr) /
-        cfg_.start_gap.region_lines;
+    const u64 region = map_.line_index(active_write_[bank]->req.addr) /
+                       cfg_.start_gap.region_lines;
     StartGapLeveler& leveler = leveler_for(region);
     if (const auto move = leveler.on_write()) {
       apply_gap_move(region, *move);
@@ -340,14 +639,11 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   const Tick now = sim_.now();
   const u32 bank = map_.flat_bank(physical_of(reqs.front().addr));
 
-  // Collect physical lines and payloads (all same bank by construction).
-  // Materialize every line first: DataStore::line can rehash its map, so
-  // pointers are only taken once all insertions are done.
-  std::vector<pcm::LineBuf*> lines;
-  std::vector<pcm::LogicalLine> datas;
-  std::vector<Addr> phys;
-  lines.reserve(reqs.size());
-  datas.reserve(reqs.size());
+  // Scratch for the scheme call: batches are bounded by write_batch
+  // (small), so these stay in inline storage on the steady-state path.
+  InlineVec<pcm::LineBuf*, 16> lines;
+  InlineVec<pcm::LogicalLine, 16> datas;
+  InlineVec<Addr, 16> phys;
   for (const auto& r : reqs) {
     const Addr p = physical_of(r.addr);
     TW_ASSERT(map_.flat_bank(p) == bank);
@@ -373,14 +669,13 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
       wear_.record(phys[i], plan.background);
     }
     if (plan.read_before_write) {
-      energy_.add_read(store_.units_per_line() *
-                       pcm_.geometry.data_unit_bits);
+      energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
     }
     wear_.record(phys[i], plan.programmed);
     a_write_units_.add(plan.write_units);
     a_write_service_.add(to_ns(batch.latency));
+    note_row_activate(bank, phys[i]);
 
-    // Wear leveling counts each demand write.
     if (cfg_.wear_leveling) {
       const u64 region =
           map_.line_index(reqs[i].addr) / cfg_.start_gap.region_lines;
@@ -390,20 +685,25 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
     }
   }
 
-  // One shared occupancy over the bank and every involved subarray;
-  // batches are not pausable. The completion settles every request's
-  // latency.
   Tick start = std::max(now, banks_[bank].free_at());
-  std::vector<u32> sub_ids;
+  // Distinct subarrays touched by the batch, as a bank-local bitmap
+  // (replaces the old std::find over a growing vector).
+  const u32 spb = map_.subarrays_per_bank();
+  const u32 sub_base = bank * spb;
+  InlineVec<u64, 4> sub_mask;
+  sub_mask.resize((spb + 63) / 64, 0);
+  const std::span<u64> mask{sub_mask.data(), sub_mask.size()};
   for (const Addr p : phys) {
-    const u32 sa = map_.flat_subarray(p);
-    if (std::find(sub_ids.begin(), sub_ids.end(), sa) == sub_ids.end()) {
-      sub_ids.push_back(sa);
-      start = std::max(start, subarrays_[sa].free_at());
+    const u32 local = map_.flat_subarray(p) - sub_base;
+    if (!bitmap_test(mask, local)) {
+      bitmap_set(mask, local);
+      start = std::max(start, subarrays_[sub_base + local].free_at());
     }
   }
   banks_[bank].occupy(start, batch.latency);
-  for (const u32 sa : sub_ids) subarrays_[sa].occupy(start, batch.latency);
+  bitmap_for_each(mask, [&](u32 local) {
+    subarrays_[sub_base + local].occupy(start, batch.latency);
+  });
   ++inflight_;
   const Tick done_in = start + batch.latency - now;
   sim_.schedule_in(
@@ -423,8 +723,6 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
 }
 
 void Controller::apply_gap_move(u64 region, const GapMove& move) {
-  // Copy the content of the source slot into the (empty) destination and
-  // charge a migration write on the destination's bank.
   const u64 n = cfg_.start_gap.region_lines;
   const Addr src = (region * (n + 1) + move.from_physical) * map_.line_bytes();
   const Addr dst = (region * (n + 1) + move.to_physical) * map_.line_bytes();
@@ -436,12 +734,9 @@ void Controller::apply_gap_move(u64 region, const GapMove& move) {
   wear_.record(dst, plan.programmed);
   c_gap_moves_.inc();
 
-  // The migration occupies the destination bank after whatever is already
-  // in service there. It is not a demand write: it has no active-write
-  // entry (so it cannot be paused) and no completion callback beyond a
-  // dispatch kick.
   const u32 bank = map_.flat_bank(dst);
   const u32 subarray = map_.flat_subarray(dst);
+  note_row_activate(bank, dst);
   const Tick start = std::max({sim_.now(), banks_[bank].free_at(),
                                subarrays_[subarray].free_at()});
   banks_[bank].occupy(start, plan.latency);
@@ -453,7 +748,7 @@ void Controller::apply_gap_move(u64 region, const GapMove& move) {
 
 void Controller::complete_write(u32 bank, u64 epoch) {
   auto& active = active_write_[bank];
-  if (!active.has_value() || active->epoch != epoch) return;  // stale
+  if (!active.has_value() || active->epoch != epoch) return;
 
   MemoryRequest req = std::move(active->req);
   active.reset();
@@ -469,19 +764,16 @@ void Controller::complete_write(u32 bank, u64 epoch) {
 bool Controller::try_pause(u32 bank, u32 wanted_subarray) {
   auto& active = active_write_[bank];
   if (!active.has_value() || paused_write_[bank].has_value()) return false;
-  // Only the write programming the read's subarray blocks it.
   if (active->subarray != wanted_subarray) return false;
-  // A migration write queued behind the active write owns the tail of the
-  // bank's occupancy; preempting would wipe it, so skip pausing then.
   if (banks_[bank].free_at() != active->end) return false;
   if (subarrays_[active->subarray].free_at() != active->end) return false;
 
   const Tick now = sim_.now();
   const Tick elapsed = now - active->start;
   const Tick boundary =
-      active->start + ceil_div(elapsed, cfg_.pause_quantum) *
-                          cfg_.pause_quantum;
-  if (boundary >= active->end) return false;  // almost done: let it finish
+      active->start +
+      ceil_div(elapsed, cfg_.pause_quantum) * cfg_.pause_quantum;
+  if (boundary >= active->end) return false;
 
   banks_[bank].preempt(boundary);
   subarrays_[active->subarray].preempt(boundary);
@@ -491,10 +783,10 @@ bool Controller::try_pause(u32 bank, u32 wanted_subarray) {
   paused.subarray = active->subarray;
   paused_write_[bank] = std::move(paused);
   active.reset();
-  ++bank_epoch_[bank];  // invalidate the scheduled completion
+  ++bank_epoch_[bank];
+  ++paused_count_;
   c_pauses_.inc();
 
-  // The pending read issues once the bank frees at the boundary.
   sim_.schedule_at(boundary, [this] { schedule_dispatch(); },
                    sim::Priority::kController);
   return true;
@@ -505,6 +797,7 @@ void Controller::resume_paused(u32 bank) {
   const Tick now = sim_.now();
   PausedWrite paused = std::move(*paused_write_[bank]);
   paused_write_[bank].reset();
+  --paused_count_;
 
   banks_[bank].occupy(now, paused.remaining);
   subarrays_[paused.subarray].occupy(now, paused.remaining);
@@ -518,15 +811,12 @@ void Controller::resume_paused(u32 bank) {
   active.subarray = paused.subarray;
   active_write_[bank] = std::move(active);
   sim_.schedule_in(
-      paused.remaining, [this, bank, epoch] { complete_write(bank, epoch); },
+      paused.remaining,
+      [this, bank, epoch] { complete_write(bank, epoch); },
       sim::Priority::kDeviceComplete);
 }
 
-u64 Controller::gap_moves() const { return c_gap_moves_.value(); }
-
 void Controller::notify_space() {
-  // Deferred via a zero-delay event: the callback may re-enter enqueue(),
-  // which must not run while dispatch() iterates the queues.
   if (!on_space_ || space_scheduled_) return;
   space_scheduled_ = true;
   sim_.schedule_in(

@@ -6,10 +6,30 @@
 // long for read-dominant workloads (Section V.B.3). An opportunistic
 // drain policy is provided as an ablation.
 //
+// Scheduling is bank-indexed: every queued request lives in one pooled
+// node threaded onto an age-ordered global FIFO *and* a per-subarray
+// (reads) or per-bank (writes) FIFO, with bitmaps tracking which buckets
+// are non-empty. A scheduling decision then inspects only per-bank list
+// heads/cursors — O(banks) instead of O(queue) — and batch formation
+// walks a single bank's list. The selection is provably order-identical
+// to a linear FRFCFS sweep of the global queue (the pre-index
+// implementation survives as the differential-test oracle in
+// tests/reference_controller.hpp). Two ablation features re-enable the
+// exact age-ordered sweep over the same structures, because they mutate
+// state mid-sweep in ways an up-front index cannot see:
+//  * write pausing — a blocked read may preempt the in-service write
+//    while the sweep is mid-flight;
+//  * Start-Gap wear leveling — gap moves triggered by an issued write
+//    remap queued requests' physical (bank, subarray) between sweep
+//    steps, which is also why the legacy begin() restart after a batch
+//    erase is preserved only on this path.
+//
 // PCM has no row buffer to exploit, so FRFCFS degenerates to
 // oldest-first over requests whose bank is idle; the "row hit first" rule
-// never fires. Bank-level parallelism and the per-scheme write service
-// time do all the work.
+// never fires for the paper configuration. The controller still tracks
+// each bank's open row (last-activated) in O(1) per issue: it feeds the
+// mem.row_hits/row_misses locality stats, and the opt-in `row_hit_first`
+// knob steers same-row requests first for DRAM-like front-ends.
 //
 // Optional substrate features from the paper's related work:
 //  * write pausing (ref [24]): a long write in service is paused at
@@ -18,13 +38,13 @@
 //  * Start-Gap wear leveling (ref [5]): logical lines rotate through
 //    physical slots; gap movements cost an internal migration write.
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "tw/common/inline_vec.hpp"
+#include "tw/common/intrusive_list.hpp"
 #include "tw/common/types.hpp"
 #include "tw/mem/address_map.hpp"
 #include "tw/mem/data_store.hpp"
@@ -77,6 +97,12 @@ struct ControllerConfig {
   /// schemes serialize internally). Batches are not pausable.
   u32 write_batch = 1;
 
+  /// Prefer requests hitting a bank's open (last-activated) row over
+  /// strictly-oldest selection. A no-op for the paper's closed-row PCM
+  /// array (kept off there so schedules stay bit-identical to the
+  /// reference FRFCFS); DRAM-like front-ends can enable it.
+  bool row_hit_first = false;
+
   bool valid() const {
     return read_queue_entries > 0 && write_queue_entries > 0 &&
            drain_low_watermark < write_queue_entries &&
@@ -114,11 +140,15 @@ class Controller {
   /// True when both queues are empty and all banks idle (quiesced).
   bool idle() const;
 
-  u32 read_queue_depth() const { return static_cast<u32>(read_q_.size()); }
-  u32 write_queue_depth() const { return static_cast<u32>(write_q_.size()); }
+  u32 read_queue_depth() const { return read_age_.size(); }
+  u32 write_queue_depth() const { return write_age_.size(); }
   bool write_queue_full() const {
-    return write_q_.size() >= cfg_.write_queue_entries;
+    return write_age_.size() >= cfg_.write_queue_entries;
   }
+
+  /// Deepest the read/write queues ever got (for queue-stat invariants).
+  u32 read_queue_peak() const { return read_q_peak_; }
+  u32 write_queue_peak() const { return write_q_peak_; }
 
   /// Physical line address a logical line currently maps to (identity
   /// unless wear leveling is on). Exposed for tests and wear reports.
@@ -133,6 +163,18 @@ class Controller {
   u64 gap_moves() const;
 
  private:
+  /// One queued request: the payload plus its memberships in the global
+  /// age FIFO and its (bank or subarray) bucket FIFO.
+  struct ReqNode {
+    MemoryRequest req;
+    ListLink by_age;     ///< global FIFO over all queued reads or writes
+    ListLink by_bucket;  ///< per-subarray (reads) / per-bank (writes) FIFO
+    u32 bucket = 0;      ///< bucket id fixed at enqueue (erase consistency)
+  };
+  using NodePool = ChunkPool<ReqNode>;
+  using AgeList = IndexList<ReqNode, &ReqNode::by_age>;
+  using BucketList = IndexList<ReqNode, &ReqNode::by_bucket>;
+
   /// Bookkeeping for a write currently occupying a bank (pausing).
   struct ActiveWrite {
     MemoryRequest req;
@@ -148,9 +190,42 @@ class Controller {
     Tick remaining = 0;
     u32 subarray = 0;
   };
+  /// Last row activated in a bank (closed-row PCM: locality stats and
+  /// the opt-in row_hit_first steering).
+  struct OpenRow {
+    u64 row = 0;
+    bool valid = false;
+  };
 
   void dispatch();
+  void dispatch_reads_indexed(Tick now);
+  void dispatch_reads_exact(Tick now);
+  void dispatch_writes_indexed(Tick now);
+  void dispatch_writes_exact(Tick now);
   void schedule_dispatch();
+
+  // Node plumbing. enqueue_* link a freshly filled node into both lists
+  // and maintain the non-empty bitmaps; unlink_* do the reverse. The node
+  // id is released back to the pool by take_node.
+  u32 make_node(MemoryRequest&& req, u32 bucket);
+  MemoryRequest take_node(u32 id);
+  void link_read(u32 id);
+  void unlink_read(u32 id);
+  void link_write(u32 id);
+  void unlink_write(u32 id);
+
+  /// Oldest issuable read in subarray `sub` (its list head), or the oldest
+  /// open-row hit when row_hit_first is set. kNilIndex if none. `hit_out`
+  /// reports whether the pick is an open-row hit.
+  u32 read_cursor(u32 sub, bool* hit_out) const;
+  /// Oldest issuable write in bank `bank` at `now` scanning from node
+  /// `from` (kNilIndex = list head); honors row_hit_first. kNilIndex if
+  /// none. `hit_out` reports whether the pick is an open-row hit.
+  u32 write_cursor(u32 bank, u32 from, Tick now, bool* hit_out) const;
+
+  bool row_hit(u32 bank, Addr phys) const;
+  void note_row_activate(u32 bank, Addr phys);
+
   /// Park a completed-read result; the completion event captures the slot.
   u32 acquire_read_slot(MemoryRequest&& req);
   MemoryRequest take_read_slot(u32 slot);
@@ -178,21 +253,50 @@ class Controller {
   pcm::EnergyModel energy_;
   pcm::WearTracker wear_;
 
-  std::deque<MemoryRequest> read_q_;
-  std::deque<MemoryRequest> write_q_;
+  // Bank-indexed request queues: pooled nodes on a global age FIFO plus
+  // per-subarray (reads) / per-bank (writes) FIFOs, with bitmaps of
+  // non-empty buckets maintained on enqueue/issue.
+  NodePool nodes_;
+  AgeList read_age_;
+  AgeList write_age_;
+  std::vector<BucketList> read_by_sub_;
+  std::vector<BucketList> write_by_bank_;
+  std::vector<u64> subs_with_reads_;    ///< bitmap over flat subarray ids
+  std::vector<u64> banks_with_writes_;  ///< bitmap over flat bank ids
+  /// True when physical (bank, subarray) of a queued request cannot change
+  /// while queued (wear leveling off): enables the indexed fast paths.
+  bool static_mapping_ = true;
+
+  /// Scratch for one read-dispatch round: the head of each ready
+  /// subarray bucket. Reserved to total_subarrays in the constructor so
+  /// dispatch never allocates.
+  struct ReadCursor {
+    u32 node;
+    u32 sub;
+    bool hit;
+  };
+  std::vector<ReadCursor> read_ready_;
+
+  std::vector<OpenRow> open_row_;  ///< per-bank last-activated row
+
   bool draining_ = false;
   bool dispatch_scheduled_ = false;
   bool space_scheduled_ = false;
   u64 next_id_ = 1;
   u64 inflight_ = 0;  ///< issued commands not yet complete
+  u32 read_q_peak_ = 0;
+  u32 write_q_peak_ = 0;
 
   // Write pausing state, indexed by flat bank id.
   std::vector<std::optional<ActiveWrite>> active_write_;
   std::vector<std::optional<PausedWrite>> paused_write_;
   std::vector<u64> bank_epoch_;
+  u32 paused_count_ = 0;  ///< banks with a paused write (O(1) idle check)
 
-  // Wear leveling state, keyed by region id.
-  std::unordered_map<u64, StartGapLeveler> levelers_;
+  // Wear leveling state: flat array indexed by region id (regions are
+  // dense under the bounded trace address spaces; entries materialize on
+  // first touch).
+  std::vector<std::optional<StartGapLeveler>> levelers_;
 
   // In-flight read results staged by slot: completion callbacks capture
   // one u32 instead of a full MemoryRequest, keeping them inside the
@@ -214,6 +318,9 @@ class Controller {
   stats::Counter& c_pauses_;
   stats::Counter& c_gap_moves_;
   stats::Counter& c_batched_;
+  stats::Counter& c_row_hits_;
+  stats::Counter& c_row_misses_;
+  stats::Counter& c_dispatches_;
   stats::Accumulator& a_read_latency_;
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;

@@ -75,6 +75,15 @@ void expect_identical(const harness::RunMetrics& a,
   EXPECT_EQ(a.write_pauses, b.write_pauses);
   EXPECT_EQ(a.gap_moves, b.gap_moves);
   EXPECT_EQ(a.writes_batched, b.writes_batched);
+  // Controller queue statistics: peaks and per-round counts depend on the
+  // exact interleaving of enqueues and dispatches, so any scheduling
+  // nondeterminism surfaces here first.
+  EXPECT_EQ(a.reads_forwarded, b.reads_forwarded);
+  EXPECT_EQ(a.writes_coalesced, b.writes_coalesced);
+  EXPECT_EQ(a.read_q_peak, b.read_q_peak);
+  EXPECT_EQ(a.write_q_peak, b.write_q_peak);
+  EXPECT_EQ(a.dispatch_rounds, b.dispatch_rounds);
+  EXPECT_EQ(a.row_hits, b.row_hits);
 }
 
 TEST(Determinism, SameSeedSameStats) {
@@ -87,6 +96,8 @@ TEST(Determinism, SameSeedSameStats) {
     EXPECT_TRUE(first[i].completed);
     EXPECT_GT(first[i].writes, 0u);
     EXPECT_GT(first[i].reads, 0u);
+    EXPECT_GT(first[i].dispatch_rounds, 0u);
+    EXPECT_GT(first[i].write_q_peak, 0u);
     expect_identical(first[i], second[i]);
   }
 }
