@@ -16,6 +16,7 @@
 #include "tw/common/strings.hpp"
 #include "tw/common/svg.hpp"
 #include "tw/harness/figure.hpp"
+#include "tw/trace/record.hpp"
 
 namespace tw::bench {
 
@@ -28,6 +29,9 @@ struct Options {
   std::string csv_path;     ///< optional CSV dump
   std::string svg_path;     ///< optional SVG figure
   std::string json_path;    ///< optional machine-readable BENCH_*.json
+  std::string trace_path;   ///< optional Chrome trace of one traced run
+  std::string trace_metrics_path;  ///< optional metrics-snapshot CSV
+  u32 trace_categories = trace::kAllCategories;
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -52,9 +56,17 @@ struct Options {
         o.svg_path = value("--svg=");
       } else if (starts_with(arg, "--json=")) {
         o.json_path = value("--json=");
+      } else if (starts_with(arg, "--trace=")) {
+        o.trace_path = value("--trace=");
+      } else if (starts_with(arg, "--trace-metrics=")) {
+        o.trace_metrics_path = value("--trace-metrics=");
+      } else if (starts_with(arg, "--trace-categories=")) {
+        o.trace_categories =
+            trace::parse_categories(value("--trace-categories="));
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick --ops=N --seed=N --threads=N "
-                     "--csv=PATH --svg=PATH --json=PATH\n";
+                     "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
+                     "--trace-metrics=PATH --trace-categories=LIST\n";
         std::exit(0);
       }
     }
@@ -70,6 +82,9 @@ struct BenchBaseline {
   double wall_ms = 0.0;
   double events_per_sec = 0.0;      ///< simulator events executed per second
   double sim_writes_per_sec = 0.0;  ///< line writes serviced per second
+  /// Slowdown of the compiled-in-but-disabled tracing path vs. the same
+  /// run with emission sites short-circuited (<0 = not measured).
+  double trace_overhead_pct = -1.0;
 };
 
 inline void write_bench_json(const std::string& path,
@@ -80,8 +95,11 @@ inline void write_bench_json(const std::string& path,
       << "  \"config\": \"" << b.config << "\",\n"
       << "  \"wall_ms\": " << fixed(b.wall_ms, 2) << ",\n"
       << "  \"events_per_sec\": " << fixed(b.events_per_sec, 1) << ",\n"
-      << "  \"sim_writes_per_sec\": " << fixed(b.sim_writes_per_sec, 1)
-      << "\n}\n";
+      << "  \"sim_writes_per_sec\": " << fixed(b.sim_writes_per_sec, 1);
+  if (b.trace_overhead_pct >= 0.0) {
+    out << ",\n  \"trace_overhead_pct\": " << fixed(b.trace_overhead_pct, 2);
+  }
+  out << "\n}\n";
   std::cout << "(benchmark baseline written to " << path << ")\n";
 }
 
@@ -171,6 +189,26 @@ inline void maybe_write_matrix_json(const harness::Matrix& m,
   write_bench_json(o.json_path, b);
 }
 
+/// When --trace was given, re-run one representative cell (first
+/// workload, Tetris) with tracing live and write the Chrome trace (and
+/// optionally the metrics CSV). Kept out of the timed matrix so tracing
+/// never skews the benchmark numbers.
+inline void maybe_trace_run(const Options& o) {
+  if (o.trace_path.empty() && o.trace_metrics_path.empty()) return;
+  const auto& workloads = workload::parsec_profiles();
+  harness::SystemConfig cfg = system_config(workloads[0], o);
+  cfg.trace.chrome_path = o.trace_path;
+  cfg.trace.metrics_path = o.trace_metrics_path;
+  cfg.trace.categories = o.trace_categories;
+  const harness::RunMetrics m = harness::run_system(
+      cfg, workloads[0], schemes::SchemeKind::kTetris);
+  std::cout << "(traced run: " << m.trace_records << " records, "
+            << m.trace_samples << " metric samples, " << m.trace_dropped
+            << " dropped";
+  if (!o.trace_path.empty()) std::cout << " -> " << o.trace_path;
+  std::cout << ")\n";
+}
+
 /// Dump the raw matrix to the --csv path if given.
 inline void maybe_write_csv(const harness::Matrix& m, const Options& o) {
   if (o.csv_path.empty()) return;
@@ -247,6 +285,7 @@ inline int system_figure(int argc, char** argv, const char* title,
   maybe_write_csv(m, o);
   maybe_write_svg(m, norm, title, "normalized to DCW baseline", o);
   maybe_write_matrix_json(m, o, title, wall_ms);
+  maybe_trace_run(o);
   return shape_ok ? 0 : 1;
 }
 
@@ -288,6 +327,7 @@ inline int system_figure_higher(int argc, char** argv, const char* title,
   maybe_write_csv(m, o);
   maybe_write_svg(m, norm, title, "improvement over DCW baseline", o);
   maybe_write_matrix_json(m, o, title, wall_ms);
+  maybe_trace_run(o);
   return shape_ok ? 0 : 1;
 }
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate shared by CI's micro_sim / micro_mem smoke.
+
+Compares a freshly produced bench JSON (bench/bench_util.hpp
+write_bench_json format) against the committed BENCH_*.json baseline and
+fails when the chosen metric falls more than --max-regression percent
+below it. Shared-runner noise stays well inside the default 15% band; a
+lost fast path does not.
+
+Usage:
+    check_bench.py BASELINE.json FRESH.json [--metric events_per_sec]
+                   [--max-regression 15] [--label micro_sim]
+Exit status: 0 ok, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path, metric):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if metric not in data:
+        print(f"check_bench: {path} has no field '{metric}'", file=sys.stderr)
+        sys.exit(2)
+    value = float(data[metric])
+    if value <= 0:
+        print(f"check_bench: {path} {metric} = {value} (not positive)",
+              file=sys.stderr)
+        sys.exit(2)
+    return value, data
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("fresh", help="just-produced bench JSON")
+    ap.add_argument("--metric", default="events_per_sec")
+    ap.add_argument("--max-regression", type=float, default=15.0,
+                    help="largest tolerated drop, percent")
+    ap.add_argument("--label", default=None,
+                    help="name to print (default: baseline 'bench' field)")
+    args = ap.parse_args()
+
+    base, base_data = load_metric(args.baseline, args.metric)
+    now, _ = load_metric(args.fresh, args.metric)
+    label = args.label or base_data.get("bench", args.baseline)
+
+    floor = base * (1.0 - args.max_regression / 100.0)
+    delta_pct = (now / base - 1.0) * 100.0
+    print(f"{label}: {args.metric} {now:.0f} vs baseline {base:.0f} "
+          f"({delta_pct:+.1f}%, floor {floor:.0f})")
+    if now < floor:
+        print(f"{label}: REGRESSION — {args.metric} dropped "
+              f"{-delta_pct:.1f}% (> {args.max_regression:.0f}% allowed)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

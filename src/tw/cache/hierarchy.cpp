@@ -1,11 +1,32 @@
 #include "tw/cache/hierarchy.hpp"
 
+#include "tw/trace/emit.hpp"
+
 namespace tw::cache {
 
 Hierarchy::Hierarchy(const HierarchyConfig& cfg)
     : l1d_(cfg.l1d), l2_(cfg.l2), l3_(cfg.l3) {}
 
 HierarchyResult Hierarchy::access(Addr addr, bool is_write) {
+  HierarchyResult r = walk(addr, is_write);
+  if (trace::on<trace::Category::kCache>()) {
+    // The CPU core installs a (time base, cache track) context before
+    // pulling from the workload source; the hierarchy itself is untimed.
+    const Tick base = trace::g_tls.base;
+    const u32 track = trace::g_tls.track;
+    for (const Addr wb : r.memory_writebacks) {
+      trace::emit_instant(trace::Category::kCache, trace::Op::kCacheWriteback,
+                          track, base, wb);
+    }
+    if (r.memory_read) {
+      trace::emit_instant(trace::Category::kCache, trace::Op::kCacheMiss,
+                          track, base, addr, r.hit_level);
+    }
+  }
+  return r;
+}
+
+HierarchyResult Hierarchy::walk(Addr addr, bool is_write) {
   HierarchyResult r;
 
   // L1.

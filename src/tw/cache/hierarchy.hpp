@@ -45,6 +45,10 @@ class Hierarchy {
   const Cache& l3() const { return l3_; }
 
  private:
+  /// The level walk itself; access() wraps it with trace emission (a
+  /// writeback cascade can end on any of its early-return paths).
+  HierarchyResult walk(Addr addr, bool is_write);
+
   Cache l1d_;
   Cache l2_;
   Cache l3_;

@@ -3,8 +3,12 @@
 #include <algorithm>
 
 #include "tw/common/assert.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::core {
+
+// The local FsmTrace variable below shadows the tw::trace namespace.
+namespace ttrace = tw::trace;
 
 FsmTrace execute_fsms(const PackResult& pack, const PackerConfig& cfg,
                       const pcm::TimingParams& timing) {
@@ -65,6 +69,24 @@ FsmTrace execute_fsms(const PackResult& pack, const PackerConfig& cfg,
               if (a.fsm != b.fsm) return a.fsm > b.fsm;
               return a.unit < b.unit;
             });
+
+  // Pulse spans for the observability layer: each FSM renders as its own
+  // timeline (per enclosing bank, via the ScopedContext the controller
+  // installs around plan_write), SET pulses on fsm1, RESETs on fsm0. The
+  // schedule's ticks are relative; the thread-local base anchors them.
+  if (ttrace::on<ttrace::Category::kFsm>()) {
+    const Tick base = ttrace::g_tls.base;
+    const u32 idx = ttrace::track_index(ttrace::g_tls.track);
+    for (const auto& e : trace.events) {
+      ttrace::emit_span(
+          ttrace::Category::kFsm,
+          e.fsm == 1 ? ttrace::Op::kSetPulse : ttrace::Op::kResetPulse,
+          ttrace::track_id(e.fsm == 1 ? ttrace::Track::kFsm1
+                                      : ttrace::Track::kFsm0,
+                           idx),
+          base + e.start, e.end - e.start, e.unit);
+    }
+  }
 
   for (const auto& e : trace.events)
     trace.pulse_completion = std::max(trace.pulse_completion, e.end);

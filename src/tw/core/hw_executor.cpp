@@ -6,6 +6,7 @@
 #include "tw/common/assert.hpp"
 #include "tw/common/env.hpp"
 #include "tw/core/write_driver.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::core {
 namespace {
@@ -87,6 +88,13 @@ HwWriteResult HwExecutor::write_line(pcm::PcmArray& array, u64 base_bit,
   result.trace = execute_fsms(result.analysis.pack,
                               result.analysis.packer_cfg, cfg.timing);
   result.service_time = result.trace.schedule_length;
+  if (trace::on<trace::Category::kFsm>()) {
+    // One span covering the whole hardware-level line write, on the
+    // enclosing context's track (the pulse spans above nest inside it).
+    trace::emit_span(trace::Category::kFsm, trace::Op::kLineWrite,
+                     trace::g_tls.track, trace::g_tls.base,
+                     result.service_time, units);
+  }
 
   // Drive the array in FSM event order: FSM1 events carry the SET pass of
   // their data unit, FSM0 events the RESET pass. Tag cells ride with

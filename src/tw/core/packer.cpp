@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tw/common/assert.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::core {
 namespace {
@@ -148,6 +149,28 @@ PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
     r.write0_queue.push_back(slot);
   }
   TW_ENSURES(slots.size() == wu_slot_count + r.subresult);
+
+  // Packing decisions for the observability layer: one instant per placed
+  // item, distinguishing write-0s that stole an interspace sub-slot inside
+  // the write-unit region from those that appended trailing sub-slots.
+  // All records land at the enclosing operation's time base (the packing
+  // itself is instantaneous at the analysis stage).
+  if (trace::on<trace::Category::kPacker>()) {
+    const Tick base = trace::g_tls.base;
+    const u32 ptrack = trace::track_id(trace::Track::kPacker,
+                                       trace::track_index(trace::g_tls.track));
+    for (const auto& s : r.write1_queue) {
+      trace::emit_instant(trace::Category::kPacker, trace::Op::kWrite1Pack,
+                          ptrack, base, s.unit, s.write_unit);
+    }
+    for (const auto& s : r.write0_queue) {
+      trace::emit_instant(trace::Category::kPacker,
+                          s.sub_slot < wu_slot_count
+                              ? trace::Op::kWrite0Steal
+                              : trace::Op::kWrite0Trail,
+                          ptrack, base, s.unit, s.sub_slot);
+    }
+  }
   return r;
 }
 

@@ -4,6 +4,7 @@
 
 #include "tw/common/env.hpp"
 #include "tw/core/fsm.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::core {
 namespace {
@@ -100,6 +101,14 @@ schemes::ServicePlan TetrisScheme::plan_write(
     pcm::LineBuf& line, const pcm::LogicalLine& next) const {
   const TetrisAnalysis a = analyze(line, next);
 
+  // Simulation normally stops at the packed schedule (the FSM expansion
+  // is only needed for its length, already known). When FSM tracing is
+  // live, expand it anyway so the trace shows per-pulse SET/RESET spans;
+  // self-check mode already expanded it inside analyze().
+  if (trace::on<trace::Category::kFsm>() && !opts_.self_check) {
+    (void)execute_fsms(a.pack, a.packer_cfg, cfg_.timing);
+  }
+
   schemes::ServicePlan s;
   s.read_before_write = true;
   s.analysis_ticks = opts_.analysis_latency();
@@ -112,6 +121,7 @@ schemes::ServicePlan TetrisScheme::plan_write(
       a.pack.result * cfg_.timing.t_set + a.pack.subresult * sub;
   s.latency = cfg_.timing.t_read + s.analysis_ticks + write_phase;
   s.write_units = a.pack.write_unit_equiv(a.packer_cfg.k);
+  s.power_util = a.pack.power_utilization(a.packer_cfg.budget);
 
   schemes::apply_plans(line, a.read.plans);
   return s;
@@ -141,6 +151,9 @@ schemes::BatchServicePlan TetrisScheme::plan_write_batch(
   // One joint packing over every unit of every line.
   const PackResult packed = pack(all_counts, pcfg);
   if (opts_.self_check) verify_pack(all_counts, pcfg, packed);
+  if (trace::on<trace::Category::kFsm>()) {
+    (void)execute_fsms(packed, pcfg, cfg_.timing);
+  }
 
   const Tick sub = cfg_.timing.t_set / pcfg.k;
   const Tick write_phase =
@@ -163,6 +176,7 @@ schemes::BatchServicePlan TetrisScheme::plan_write_batch(
     s.silent = s.programmed.total() == 0;
     s.latency = batch.latency;  // all lines complete together
     s.write_units = shared_units;
+    s.power_util = packed.power_utilization(pcfg.budget);
     schemes::apply_plans(*lines[i], reads[i].plans);
     batch.per_line.push_back(std::move(s));
   }

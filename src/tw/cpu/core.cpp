@@ -4,6 +4,7 @@
 
 #include "tw/common/assert.hpp"
 #include "tw/mem/request.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::cpu {
 
@@ -33,6 +34,10 @@ void Core::execute_gap() {
     return;
   }
   if (!has_pending_) {
+    // Cache-filtered sources walk the hierarchy inside next(); give their
+    // miss/writeback emissions a time base and this core's cache track.
+    trace::ScopedContext tctx(sim_.now(),
+                              trace::track_id(trace::Track::kCache, id_));
     pending_ = gen_.next(id_);
     has_pending_ = true;
   }

@@ -1,9 +1,152 @@
 #include "tw/harness/experiment.hpp"
 
+#include <cstring>
+#include <optional>
+
+#include "tw/common/version.hpp"
 #include "tw/stats/registry.hpp"
+#include "tw/trace/chrome_sink.hpp"
+#include "tw/trace/metrics_sink.hpp"
 #include "tw/workload/generator.hpp"
 
 namespace tw::harness {
+
+namespace {
+
+/// splitmix64 step: the standard finalizer used to mix config fields.
+u64 mix(u64 h, u64 v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+u64 mix_double(u64 h, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(h, bits);
+}
+
+/// Register the standard gauge set on the snapshotter: queue depths, bank
+/// occupancy/utilization, per-epoch traffic, and Tetris budget
+/// utilization. Epoch-delta gauges carry their own previous-sample state.
+void add_standard_gauges(trace::MetricsSnapshotter& snap, sim::Simulator& sim,
+                         mem::Controller& controller, stats::Registry& reg) {
+  snap.add_gauge("read_q_depth",
+                 [&] { return static_cast<double>(controller.read_queue_depth()); });
+  snap.add_gauge("write_q_depth",
+                 [&] { return static_cast<double>(controller.write_queue_depth()); });
+  snap.add_gauge("banks_busy", [&] {
+    u32 busy = 0;
+    for (const auto& b : controller.banks()) {
+      if (!b.idle_at(sim.now())) ++busy;
+    }
+    return static_cast<double>(busy);
+  });
+  // Fraction of the epoch the banks spent busy, averaged over banks.
+  snap.add_gauge("bank_util", [&, prev = u64{0}, prev_now = Tick{0}]() mutable {
+    u64 total = 0;
+    for (const auto& b : controller.banks()) total += b.busy_total();
+    const Tick now = sim.now();
+    const u64 dt = (now - prev_now) * controller.banks().size();
+    const double util =
+        dt == 0 ? 0.0 : static_cast<double>(total - prev) / static_cast<double>(dt);
+    prev = total;
+    prev_now = now;
+    return util;
+  });
+  snap.add_gauge("reads_epoch",
+                 [&, prev = 0.0]() mutable {
+                   const double t =
+                       static_cast<double>(reg.counter("mem.reads").value());
+                   const double d = t - prev;
+                   prev = t;
+                   return d;
+                 });
+  snap.add_gauge("writes_epoch",
+                 [&, prev = 0.0]() mutable {
+                   const double t =
+                       static_cast<double>(reg.counter("mem.writes").value());
+                   const double d = t - prev;
+                   prev = t;
+                   return d;
+                 });
+  snap.add_gauge("write_units_epoch",
+                 [&, prev = 0.0]() mutable {
+                   const double t = reg.accumulator("mem.write_units").sum();
+                   const double d = t - prev;
+                   prev = t;
+                   return d;
+                 });
+  // Mean packed power-budget utilization of the writes in this epoch
+  // (0 when the scheme has no packed schedule, or nothing was written).
+  snap.add_gauge("budget_util",
+                 [&, prev_sum = 0.0, prev_n = 0.0]() mutable {
+                   const auto& acc = reg.accumulator("mem.power_utilization");
+                   const double dn = static_cast<double>(acc.count()) - prev_n;
+                   const double ds = acc.sum() - prev_sum;
+                   prev_n = static_cast<double>(acc.count());
+                   prev_sum = acc.sum();
+                   return dn <= 0.0 ? 0.0 : ds / dn;
+                 });
+}
+
+}  // namespace
+
+u64 config_hash(const SystemConfig& cfg) {
+  u64 h = 0x243F6A8885A308D3ull;  // pi
+  // Device.
+  h = mix(h, cfg.pcm.timing.t_read);
+  h = mix(h, cfg.pcm.timing.t_reset);
+  h = mix(h, cfg.pcm.timing.t_set);
+  h = mix(h, cfg.pcm.power.reset_current_ratio_l);
+  h = mix(h, cfg.pcm.power.chip_budget);
+  h = mix(h, cfg.pcm.power.global_charge_pump ? 1 : 0);
+  h = mix(h, cfg.pcm.geometry.chips_per_bank);
+  h = mix(h, cfg.pcm.geometry.chip_write_bits);
+  h = mix(h, cfg.pcm.geometry.data_unit_bits);
+  h = mix(h, cfg.pcm.geometry.cache_line_bytes);
+  h = mix(h, cfg.pcm.geometry.banks);
+  h = mix(h, cfg.pcm.geometry.ranks);
+  h = mix(h, cfg.pcm.geometry.subarrays_per_bank);
+  h = mix(h, cfg.pcm.geometry.capacity_bytes);
+  h = mix_double(h, cfg.pcm.energy.set_pj);
+  h = mix_double(h, cfg.pcm.energy.reset_pj);
+  h = mix_double(h, cfg.pcm.energy.read_bit_pj);
+  // Controller.
+  h = mix(h, cfg.controller.read_queue_entries);
+  h = mix(h, cfg.controller.write_queue_entries);
+  h = mix(h, static_cast<u64>(cfg.controller.drain));
+  h = mix(h, cfg.controller.drain_low_watermark);
+  h = mix(h, cfg.controller.read_bus_time);
+  h = mix(h, cfg.controller.forward_latency);
+  h = mix(h, (cfg.controller.write_coalescing ? 1 : 0) |
+                 (cfg.controller.read_forwarding ? 2 : 0) |
+                 (cfg.controller.write_pausing ? 4 : 0) |
+                 (cfg.controller.wear_leveling ? 8 : 0) |
+                 (cfg.controller.row_hit_first ? 16 : 0));
+  h = mix(h, cfg.controller.pause_quantum);
+  h = mix(h, cfg.controller.start_gap.region_lines);
+  h = mix(h, cfg.controller.start_gap.gap_write_interval);
+  h = mix(h, cfg.controller.write_batch);
+  // Core model.
+  h = mix(h, cfg.core.clock_period);
+  h = mix_double(h, cfg.core.peak_ipc);
+  h = mix(h, cfg.core.mlp);
+  // Tetris options.
+  h = mix(h, cfg.tetris.analysis_cycles);
+  h = mix(h, cfg.tetris.analysis_clock_period);
+  h = mix(h, static_cast<u64>(cfg.tetris.pack_order));
+  h = mix(h, (cfg.tetris.forbid_self_overlap ? 1 : 0) |
+                 (cfg.tetris.respect_gcp_setting ? 2 : 0) |
+                 (cfg.tetris.self_check ? 4 : 0));
+  // Run shape.
+  h = mix(h, cfg.cores);
+  h = mix(h, cfg.instructions_per_core);
+  h = mix(h, cfg.seed);
+  h = mix(h, cfg.max_sim_time);
+  return h;
+}
 
 RunMetrics run_system(const SystemConfig& cfg,
                       const workload::WorkloadProfile& profile,
@@ -19,6 +162,20 @@ RunMetrics run_system(const SystemConfig& cfg,
   cpu::MultiCore cpus(sim, cfg.core, cfg.cores, controller, gen,
                       cfg.instructions_per_core);
 
+  // Observability: attach the tracer to this thread for the duration of
+  // the run, sample gauges on the metrics epoch, and serialize at the end.
+  const bool traced = cfg.trace.enabled();
+  std::optional<trace::Tracer> tracer;
+  std::optional<trace::Tracer::Attach> attach;
+  std::optional<trace::MetricsSnapshotter> snapshotter;
+  if (traced) {
+    tracer.emplace(cfg.trace.categories, cfg.trace.ring_capacity);
+    attach.emplace(*tracer);
+    snapshotter.emplace(sim, reg, cfg.trace.metrics_epoch);
+    add_standard_gauges(*snapshotter, sim, controller, reg);
+    snapshotter->start();
+  }
+
   cpus.start();
   sim.run(cfg.max_sim_time);
 
@@ -26,6 +183,36 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.workload = profile.name;
   m.scheme = std::string(scheme->name());
   m.completed = cpus.all_finished();
+
+  if (traced) {
+    snapshotter->sample();  // final partial epoch
+    attach.reset();         // stop emitting before collection
+
+    trace::RunManifest manifest;
+    manifest.version = kVersionString;
+    manifest.git_sha = trace::build_git_sha();
+    manifest.scheme = m.scheme;
+    manifest.workload = m.workload;
+    manifest.config_hash = config_hash(cfg);
+    manifest.seed = cfg.seed;
+    manifest.counter_names = snapshotter->gauge_names();
+    char cats[128];
+    trace::append_category_list(tracer->mask(), cats, sizeof(cats));
+    manifest.categories = cats;
+
+    const std::vector<trace::TraceRecord> records = tracer->collect();
+    if (!cfg.trace.chrome_path.empty()) {
+      trace::write_chrome_trace_file(cfg.trace.chrome_path, records,
+                                     manifest);
+    }
+    if (!cfg.trace.metrics_path.empty()) {
+      trace::write_metrics_csv_file(cfg.trace.metrics_path, records,
+                                    manifest);
+    }
+    m.trace_records = records.size();
+    m.trace_dropped = tracer->total_dropped();
+    m.trace_samples = snapshotter->samples_taken();
+  }
 
   m.read_latency_ns = reg.accumulator("mem.read_latency_ns").mean();
   m.write_latency_ns = reg.accumulator("mem.write_latency_ns").mean();

@@ -8,9 +8,28 @@
 #include "tw/core/factory.hpp"
 #include "tw/cpu/multicore.hpp"
 #include "tw/mem/controller.hpp"
+#include "tw/trace/tracer.hpp"
 #include "tw/workload/profiles.hpp"
 
 namespace tw::harness {
+
+/// Observability settings for one run. Tracing activates when either
+/// output path is set (records are only collected if someone will read
+/// them); the category mask further narrows what gets emitted.
+struct TraceConfig {
+  std::string chrome_path;   ///< Chrome trace_event JSON ("" = off)
+  std::string metrics_path;  ///< metrics-snapshot CSV ("" = off)
+  u32 categories = trace::kAllCategories;
+  /// Metrics sampling epoch (simulated time between snapshots).
+  Tick metrics_epoch = us(1);
+  /// Per-thread ring capacity in records (rounded up to a power of two);
+  /// long runs keep the most recent window.
+  u64 ring_capacity = trace::TraceRing::kDefaultCapacity;
+
+  bool enabled() const {
+    return !chrome_path.empty() || !metrics_path.empty();
+  }
+};
 
 /// Everything configurable about one simulation (Table II defaults).
 struct SystemConfig {
@@ -18,6 +37,7 @@ struct SystemConfig {
   mem::ControllerConfig controller;    ///< FRFCFS queues + drain policy
   cpu::CoreConfig core;                ///< 2 GHz, peak IPC, MLP window
   core::TetrisOptions tetris;          ///< analysis overhead etc.
+  TraceConfig trace;                   ///< structured tracing (off by default)
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
   u64 seed = 42;
@@ -25,6 +45,12 @@ struct SystemConfig {
   /// incomplete rather than hanging.
   Tick max_sim_time = ms(10'000);
 };
+
+/// Field-mixing hash of everything that shapes a run's behavior (device
+/// timing/geometry/power, controller policy, core model, Tetris options,
+/// core count, budgets, seed). Stored in trace manifests so a trace file
+/// identifies the exact configuration that produced it.
+u64 config_hash(const SystemConfig& cfg);
 
 /// Metrics of one completed run.
 struct RunMetrics {
@@ -57,6 +83,10 @@ struct RunMetrics {
   u64 write_q_peak = 0;      ///< deepest the write queue ever got
   u64 dispatch_rounds = 0;   ///< controller scheduling rounds executed
   u64 row_hits = 0;          ///< consecutive same-row activations per bank
+  // Tracing (zero when the run was untraced).
+  u64 trace_records = 0;   ///< records collected into the sinks
+  u64 trace_dropped = 0;   ///< records lost to ring wraparound
+  u64 trace_samples = 0;   ///< metrics snapshots taken
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

@@ -6,8 +6,23 @@
 #include "tw/common/assert.hpp"
 #include "tw/common/bits.hpp"
 #include "tw/common/inline_vec.hpp"
+#include "tw/trace/emit.hpp"
 
 namespace tw::mem {
+
+namespace {
+// Shorthand for the controller's emission sites; every record is gated on
+// the kController category.
+constexpr auto kCat = trace::Category::kController;
+constexpr u32 kReadQueueTrack = trace::track_id(trace::Track::kQueue, 0);
+constexpr u32 kWriteQueueTrack = trace::track_id(trace::Track::kQueue, 1);
+constexpr u32 bank_track(u32 bank) {
+  return trace::track_id(trace::Track::kBank, bank);
+}
+constexpr u32 sub_track(u32 sub) {
+  return trace::track_id(trace::Track::kSubarray, sub);
+}
+}  // namespace
 
 Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
                        ControllerConfig cfg, schemes::WriteScheme& scheme,
@@ -48,6 +63,7 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       a_write_latency_(registry.accumulator("mem.write_latency_ns")),
       a_write_units_(registry.accumulator("mem.write_units")),
       a_write_service_(registry.accumulator("mem.write_service_ns")),
+      a_power_util_(registry.accumulator("mem.power_utilization")),
       h_read_latency_(registry.histogram("mem.read_latency_hist_ns")),
       h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
   TW_EXPECTS(cfg_.valid());
@@ -143,6 +159,11 @@ bool Controller::enqueue(MemoryRequest req) {
           if (nodes_[id].req.addr == req.addr) {
             nodes_[id].req.data = req.data;
             c_coalesced_.inc();
+            if (trace::on<kCat>()) {
+              trace::emit_instant(kCat, trace::Op::kWriteCoalesce,
+                                  kWriteQueueTrack, sim_.now(), req.id,
+                                  nodes_[id].req.id);
+            }
             return true;
           }
         }
@@ -152,14 +173,24 @@ bool Controller::enqueue(MemoryRequest req) {
           if (nodes_[id].req.addr == req.addr) {
             nodes_[id].req.data = req.data;
             c_coalesced_.inc();
+            if (trace::on<kCat>()) {
+              trace::emit_instant(kCat, trace::Op::kWriteCoalesce,
+                                  kWriteQueueTrack, sim_.now(), req.id,
+                                  nodes_[id].req.id);
+            }
             return true;
           }
         }
       }
     }
     if (write_age_.size() >= cfg_.write_queue_entries) return false;
+    const u64 req_id = req.id;
     link_write(make_node(std::move(req), bank));
-    if (write_age_.size() >= cfg_.write_queue_entries) draining_ = true;
+    if (trace::on<kCat>()) {
+      trace::emit_instant(kCat, trace::Op::kWriteEnqueue, kWriteQueueTrack,
+                          sim_.now(), req_id, write_age_.size());
+    }
+    if (write_age_.size() >= cfg_.write_queue_entries) set_draining(true);
   } else {
     if (cfg_.read_forwarding) {
       // Youngest match wins, as the reference's reverse iteration; the
@@ -187,6 +218,10 @@ bool Controller::enqueue(MemoryRequest req) {
       if (match != kNilIndex) {
         c_forwarded_.inc();
         c_reads_.inc();
+        if (trace::on<kCat>()) {
+          trace::emit_instant(kCat, trace::Op::kReadForward, kReadQueueTrack,
+                              sim_.now(), req.id, nodes_[match].req.id);
+        }
         MemoryRequest done = req;
         done.start_tick = sim_.now();
         done.complete_tick = sim_.now() + cfg_.forward_latency;
@@ -205,7 +240,13 @@ bool Controller::enqueue(MemoryRequest req) {
       }
     }
     if (read_age_.size() >= cfg_.read_queue_entries) return false;
-    link_read(make_node(std::move(req), map_.flat_subarray(req.addr)));
+    const u64 req_id = req.id;
+    const u32 sub = map_.flat_subarray(req.addr);
+    link_read(make_node(std::move(req), sub));
+    if (trace::on<kCat>()) {
+      trace::emit_instant(kCat, trace::Op::kReadEnqueue, kReadQueueTrack,
+                          sim_.now(), req_id, read_age_.size());
+    }
   }
 
   if (!dispatch_scheduled_) {
@@ -278,10 +319,23 @@ void Controller::schedule_dispatch() {
 
 // -- Scheduling -----------------------------------------------------------
 
+void Controller::set_draining(bool on) {
+  if (draining_ == on) return;
+  draining_ = on;
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, on ? trace::Op::kDrainStart : trace::Op::kDrainEnd,
+                        kWriteQueueTrack, sim_.now(), write_age_.size());
+  }
+}
+
 void Controller::dispatch() {
   dispatch_scheduled_ = false;
   c_dispatches_.inc();
   const Tick now = sim_.now();
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, trace::Op::kDispatch, kReadQueueTrack, now,
+                        read_age_.size(), write_age_.size());
+  }
 
   // Reads first (FRFCFS priority). The indexed path needs the ready set
   // to be stable across the sweep: write pausing can free a subarray
@@ -294,7 +348,7 @@ void Controller::dispatch() {
   }
 
   if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
-    draining_ = false;
+    set_draining(false);
   }
   const bool issue_writes =
       draining_ ||
@@ -475,7 +529,7 @@ void Controller::dispatch_writes_indexed(Tick now) {
     }
     notify_space();
     if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
-      draining_ = false;
+      set_draining(false);
     }
 
     // Normally the bank is now busy until the service completes and it
@@ -538,7 +592,7 @@ void Controller::dispatch_writes_exact(Tick now) {
       }
       notify_space();
       if (draining_ && write_age_.size() <= cfg_.drain_low_watermark) {
-        draining_ = false;
+        set_draining(false);
       }
     }
     id = nxt;
@@ -555,6 +609,10 @@ void Controller::issue_read(MemoryRequest req) {
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
   c_reads_.inc();
+  if (trace::on<kCat>()) {
+    trace::emit_span(kCat, trace::Op::kReadService, sub_track(subarray), now,
+                     service, req.id);
+  }
   note_row_activate(map_.flat_bank(phys), phys);
   energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
 
@@ -585,6 +643,9 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
   Tick service = service_override;
   if (service == 0) {
     pcm::LineBuf& line = store_.line(phys);
+    // The context hands the analysis stage (packer, FSM expansion) an
+    // absolute time base + bank track for its own emissions.
+    trace::ScopedContext tctx(now, bank_track(bank));
     const schemes::ServicePlan plan = scheme_.plan_write(line, req.data);
     service = plan.latency;
 
@@ -602,12 +663,17 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     wear_.record(phys, plan.programmed);
     a_write_units_.add(plan.write_units);
     a_write_service_.add(to_ns(plan.latency));
+    if (plan.power_util > 0.0) a_power_util_.add(plan.power_util);
     note_row_activate(bank, phys);
   }
 
   banks_[bank].occupy(now, service);
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
+  if (trace::on<kCat>()) {
+    trace::emit_span(kCat, trace::Op::kWriteService, bank_track(bank), now,
+                     service, req.id);
+  }
 
   TW_ASSERT(!active_write_[bank].has_value());
   const u64 epoch = ++bank_epoch_[bank];
@@ -653,6 +719,7 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   }
   for (const Addr p : phys) lines.push_back(&store_.line(p));
 
+  trace::ScopedContext tctx(now, bank_track(bank));
   const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
       {lines.data(), lines.size()}, {datas.data(), datas.size()});
   TW_ASSERT(batch.per_line.size() == reqs.size());
@@ -674,6 +741,7 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
     wear_.record(phys[i], plan.programmed);
     a_write_units_.add(plan.write_units);
     a_write_service_.add(to_ns(batch.latency));
+    if (plan.power_util > 0.0) a_power_util_.add(plan.power_util);
     note_row_activate(bank, phys[i]);
 
     if (cfg_.wear_leveling) {
@@ -705,6 +773,10 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
     subarrays_[sub_base + local].occupy(start, batch.latency);
   });
   ++inflight_;
+  if (trace::on<kCat>()) {
+    trace::emit_span(kCat, trace::Op::kBatchService, bank_track(bank), start,
+                     batch.latency, reqs.size());
+  }
   const Tick done_in = start + batch.latency - now;
   sim_.schedule_in(
       done_in,
@@ -735,6 +807,10 @@ void Controller::apply_gap_move(u64 region, const GapMove& move) {
   c_gap_moves_.inc();
 
   const u32 bank = map_.flat_bank(dst);
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, trace::Op::kGapMove, bank_track(bank),
+                        sim_.now(), region, plan.latency);
+  }
   const u32 subarray = map_.flat_subarray(dst);
   note_row_activate(bank, dst);
   const Tick start = std::max({sim_.now(), banks_[bank].free_at(),
@@ -751,6 +827,10 @@ void Controller::complete_write(u32 bank, u64 epoch) {
   if (!active.has_value() || active->epoch != epoch) return;
 
   MemoryRequest req = std::move(active->req);
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, trace::Op::kWriteComplete, bank_track(bank),
+                        sim_.now(), req.id, active->service);
+  }
   active.reset();
   --inflight_;
   req.complete_tick = sim_.now();
@@ -777,6 +857,10 @@ bool Controller::try_pause(u32 bank, u32 wanted_subarray) {
 
   banks_[bank].preempt(boundary);
   subarrays_[active->subarray].preempt(boundary);
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, trace::Op::kWritePause, bank_track(bank),
+                        boundary, active->req.id, active->end - boundary);
+  }
   PausedWrite paused;
   paused.req = std::move(active->req);
   paused.remaining = active->end - boundary;
@@ -801,6 +885,10 @@ void Controller::resume_paused(u32 bank) {
 
   banks_[bank].occupy(now, paused.remaining);
   subarrays_[paused.subarray].occupy(now, paused.remaining);
+  if (trace::on<kCat>()) {
+    trace::emit_instant(kCat, trace::Op::kWriteResume, bank_track(bank), now,
+                        paused.req.id, paused.remaining);
+  }
   const u64 epoch = ++bank_epoch_[bank];
   ActiveWrite active;
   active.req = std::move(paused.req);

@@ -236,6 +236,8 @@ class Controller {
   bool try_pause(u32 bank, u32 wanted_subarray);
   void resume_paused(u32 bank);
   bool read_waiting_for_subarray(u32 subarray);
+  /// Flip drain mode, emitting a trace record on every transition.
+  void set_draining(bool on);
   void notify_space();
   StartGapLeveler& leveler_for(u64 region);
   void apply_gap_move(u64 region, const GapMove& move);
@@ -325,6 +327,7 @@ class Controller {
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;
   stats::Accumulator& a_write_service_;
+  stats::Accumulator& a_power_util_;
   stats::Log2Histogram& h_read_latency_;
   stats::Log2Histogram& h_write_latency_;
 };

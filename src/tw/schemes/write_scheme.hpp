@@ -78,6 +78,9 @@ struct ServicePlan {
   /// Pulses performed off the critical path (PreSET's background SET
   /// pass): charged to energy and wear but not latency.
   BitTransitions background;
+  /// Fraction of the power budget the scheduled slots actually drew
+  /// (Tetris packing density; 0 for schemes without a packed schedule).
+  double power_util = 0.0;
 };
 
 /// A batch of same-bank writes serviced together (batched Tetris packs

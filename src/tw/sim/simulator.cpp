@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "tw/trace/emit.hpp"
+
 namespace tw::sim {
 
 Simulator::~Simulator() = default;  // chunks_ owns every node
@@ -71,17 +73,26 @@ void Simulator::migrate_far() {
   EventNode* n = far_;
   far_ = nullptr;
   far_min_tick_ = kTickMax;
+  u64 migrated = 0;
+  u64 kept_far = 0;
   while (n != nullptr) {
     EventNode* next = n->next;
     const u64 day = day_of(n->tick);
     if (day < base + kNumBuckets) {
       bucket_insert(n, static_cast<u32>(day) & kBucketMask);
+      ++migrated;
     } else {
       n->next = far_;
       far_ = n;
       far_min_tick_ = std::min(far_min_tick_, n->tick);
+      ++kept_far;
     }
     n = next;
+  }
+  if (trace::on<trace::Category::kKernel>()) {
+    trace::emit_instant(trace::Category::kKernel, trace::Op::kFarMigrate,
+                        trace::track_id(trace::Track::kKernel, 0), now_,
+                        migrated, kept_far);
   }
 }
 
@@ -140,6 +151,12 @@ void Simulator::fire(EventNode* n) {
   now_ = n->tick;
   ++executed_;
   if (observer_) observer_(now_, executed_);
+  if (trace::on<trace::Category::kKernel>()) {
+    // arg0 = running executed count, arg1 = the event's priority lane.
+    trace::emit_instant(trace::Category::kKernel, trace::Op::kEventFire,
+                        trace::track_id(trace::Track::kKernel, 0), now_,
+                        executed_, n->order >> 56);
+  }
   n->fn();  // may schedule further events; n is already unlinked
   free_node(n);
 }

@@ -1,0 +1,200 @@
+#include "tw/trace/chrome_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace tw::trace {
+namespace {
+
+// Picoseconds → trace_event microseconds, printed with full pico
+// precision so same-seed runs serialize byte-identically.
+void append_ts(std::string& s, Tick t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06u",
+                t / 1'000'000, static_cast<unsigned>(t % 1'000'000));
+  s += buf;
+}
+
+void append_u64(std::string& s, u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  s += buf;
+}
+
+void append_double(std::string& s, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s += buf;
+}
+
+void append_json_string(std::string& s, const std::string& v) {
+  s += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': s += "\\\""; break;
+      case '\\': s += "\\\\"; break;
+      case '\n': s += "\\n"; break;
+      case '\t': s += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          s += buf;
+        } else {
+          s += c;
+        }
+    }
+  }
+  s += '"';
+}
+
+void append_pid_tid(std::string& s, u32 track) {
+  s += "\"pid\":";
+  append_u64(s, static_cast<u32>(track_domain(track)));
+  s += ",\"tid\":";
+  append_u64(s, track_index(track));
+}
+
+// The event name shown in the UI: gauges use their registered metric
+// name (from the manifest) so counters chart under meaningful labels.
+const char* record_name(const TraceRecord& r, const RunManifest& m) {
+  if (r.op == Op::kGauge) {
+    const u32 idx = track_index(r.track);
+    if (idx < m.counter_names.size()) return m.counter_names[idx].c_str();
+  }
+  return op_name(r.op);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceRecord>& records,
+                        const RunManifest& manifest) {
+  std::string s;
+  s.reserve(1u << 20);
+  s += "{\"traceEvents\":[\n";
+
+  // Metadata events first: name every (process, thread) pair that appears
+  // so Perfetto shows "bank 3" instead of a bare tid.
+  std::set<u32> pids;
+  std::set<u32> tracks;
+  for (const auto& r : records) {
+    pids.insert(static_cast<u32>(track_domain(r.track)));
+    tracks.insert(r.track);
+  }
+  bool first = true;
+  auto sep = [&] {
+    if (!first) s += ",\n";
+    first = false;
+  };
+  for (u32 pid : pids) {
+    sep();
+    s += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_u64(s, pid);
+    s += ",\"args\":{\"name\":";
+    append_json_string(s, track_domain_name(static_cast<Track>(pid)));
+    s += "}}";
+  }
+  for (u32 track : tracks) {
+    sep();
+    s += "{\"name\":\"thread_name\",\"ph\":\"M\",";
+    append_pid_tid(s, track);
+    s += ",\"args\":{\"name\":";
+    std::string tname = track_domain_name(track_domain(track));
+    tname += ' ';
+    char idx[16];
+    std::snprintf(idx, sizeof(idx), "%u", track_index(track));
+    tname += idx;
+    append_json_string(s, tname);
+    s += "}}";
+  }
+
+  for (const auto& r : records) {
+    sep();
+    s += "{\"name\":";
+    append_json_string(s, record_name(r, manifest));
+    s += ",\"cat\":";
+    append_json_string(s, category_name(r.category));
+    s += ",";
+    switch (r.kind) {
+      case Kind::kSpan:
+        s += "\"ph\":\"X\",\"ts\":";
+        append_ts(s, r.tick);
+        s += ",\"dur\":";
+        append_ts(s, r.arg1);
+        s += ",";
+        append_pid_tid(s, r.track);
+        s += ",\"args\":{\"arg0\":";
+        append_u64(s, r.arg0);
+        s += "}";
+        break;
+      case Kind::kInstant:
+        s += "\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        append_ts(s, r.tick);
+        s += ",";
+        append_pid_tid(s, r.track);
+        s += ",\"args\":{\"arg0\":";
+        append_u64(s, r.arg0);
+        s += ",\"arg1\":";
+        append_u64(s, r.arg1);
+        s += "}";
+        break;
+      case Kind::kCounter:
+        s += "\"ph\":\"C\",\"ts\":";
+        append_ts(s, r.tick);
+        s += ",";
+        append_pid_tid(s, r.track);
+        s += ",\"args\":{\"value\":";
+        append_double(s, counter_value(r));
+        s += "}";
+        break;
+    }
+    s += "}";
+    if (s.size() >= (1u << 20)) {
+      out << s;
+      s.clear();
+    }
+  }
+
+  s += "\n],\"displayTimeUnit\":\"ns\",\"metadata\":{";
+  s += "\"tool\":";
+  append_json_string(s, manifest.tool);
+  s += ",\"version\":";
+  append_json_string(s, manifest.version);
+  s += ",\"git_sha\":";
+  append_json_string(s, manifest.git_sha);
+  s += ",\"scheme\":";
+  append_json_string(s, manifest.scheme);
+  s += ",\"workload\":";
+  append_json_string(s, manifest.workload);
+  s += ",\"categories\":";
+  append_json_string(s, manifest.categories);
+  s += ",\"config_hash\":\"";
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, manifest.config_hash);
+  s += hex;
+  s += "\",\"seed\":";
+  append_u64(s, manifest.seed);
+  s += ",\"counter_names\":[";
+  for (std::size_t i = 0; i < manifest.counter_names.size(); ++i) {
+    if (i > 0) s += ',';
+    append_json_string(s, manifest.counter_names[i]);
+  }
+  s += "]}}\n";
+  out << s;
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const RunManifest& manifest) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_chrome_trace(out, records, manifest);
+  return out.good();
+}
+
+}  // namespace tw::trace

@@ -1,0 +1,33 @@
+#pragma once
+// Chrome trace_event JSON sink. Produces the "JSON Object Format" variant
+// ({"traceEvents": [...], "metadata": {...}}) that chrome://tracing and
+// Perfetto both load. Track domains become processes (banks, FSMs, cores,
+// queues...), track indices become threads, so a loaded trace shows one
+// swim lane per bank and per FSM.
+//
+// Timebase: simulated picoseconds are written as fractional microseconds
+// (the trace_event "ts"/"dur" unit), so 430 ns Tset pulses render at
+// 0.43 µs — real device scale, no fake clock.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tw/trace/tracer.hpp"
+
+namespace tw::trace {
+
+/// Stream the records (already time-sorted, as Tracer::collect returns
+/// them) as one self-contained JSON document with the manifest embedded
+/// under "metadata".
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceRecord>& records,
+                        const RunManifest& manifest);
+
+/// Convenience: write to `path`. Returns false if the file can't be
+/// opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRecord>& records,
+                             const RunManifest& manifest);
+
+}  // namespace tw::trace

@@ -1,0 +1,99 @@
+#pragma once
+// Thread-local emission state and the emit() hot path. Header-only and
+// dependency-free (beyond record/ring) so any module can emit without
+// linking against tw_trace: instrumented code includes this header, tests
+// the category gate with `on<C>()`, and pushes records; the Tracer
+// (tw/trace/tracer.hpp) installs/collects the per-thread state.
+//
+// Cost model: with a category compiled out, `if (on<C>())` folds to
+// `if (false)` and the emission site vanishes. Compiled in but not
+// enabled at runtime, the site costs one thread-local mask load and one
+// predicted-not-taken branch. Enabled, a push is one 32-byte store plus
+// an increment into the thread's private ring — no locks, no atomics, no
+// allocation.
+
+#include "tw/trace/record.hpp"
+#include "tw/trace/ring.hpp"
+
+namespace tw::trace {
+
+/// Per-thread tracing state. `ring == nullptr` (the default) means the
+/// thread is not attached and every runtime gate is off regardless of the
+/// mask.
+struct ThreadState {
+  TraceRing* ring = nullptr;
+  u32 mask = 0;  ///< runtime category mask (valid only when attached)
+  // Context for emitters that have no Simulator reference (packer, FSM
+  // schedule expansion, cache): absolute time base and track of the
+  // enclosing operation, installed by ScopedContext.
+  Tick base = 0;
+  u32 track = 0;
+};
+
+inline thread_local ThreadState g_tls;
+
+/// Runtime + compile-time category gate. Usage:
+///   if (on<Category::kFsm>()) { ... build and emit records ... }
+template <Category C>
+inline bool on() {
+  if constexpr (!category_compiled(C)) return false;
+  return (g_tls.mask & category_bit(C)) != 0 && g_tls.ring != nullptr;
+}
+
+/// Runtime-category variant for data-driven emitters (sinks, snapshots).
+inline bool on(Category c) {
+  return category_compiled(c) && (g_tls.mask & category_bit(c)) != 0 &&
+         g_tls.ring != nullptr;
+}
+
+/// Push one record. Callers must have passed the `on()` gate.
+inline void emit(const TraceRecord& r) { g_tls.ring->push(r); }
+
+inline void emit_instant(Category c, Op op, u32 track, Tick tick,
+                         u64 arg0 = 0, u64 arg1 = 0) {
+  emit(TraceRecord{tick, arg0, arg1, track, op, c, Kind::kInstant});
+}
+
+inline void emit_span(Category c, Op op, u32 track, Tick start, Tick duration,
+                      u64 arg0 = 0) {
+  emit(TraceRecord{start, arg0, duration, track, op, c, Kind::kSpan});
+}
+
+inline void emit_counter(Category c, Op op, u32 track, Tick tick,
+                         double value, u64 arg1 = 0) {
+  u64 bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  emit(TraceRecord{tick, bits, arg1, track, op, c, Kind::kCounter});
+}
+
+/// Reinterpret a counter record's payload.
+inline double counter_value(const TraceRecord& r) {
+  double v;
+  __builtin_memcpy(&v, &r.arg0, sizeof(v));
+  return v;
+}
+
+/// Installs a time base + track for downstream emitters that only know
+/// relative ticks (FSM pulse schedules, packer decisions). Cheap enough to
+/// construct unconditionally: two thread-local stores each way.
+class ScopedContext {
+ public:
+  ScopedContext(Tick base, u32 track)
+      : saved_base_(g_tls.base), saved_track_(g_tls.track) {
+    g_tls.base = base;
+    g_tls.track = track;
+  }
+  ~ScopedContext() {
+    g_tls.base = saved_base_;
+    g_tls.track = saved_track_;
+  }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Tick saved_base_;
+  u32 saved_track_;
+};
+
+}  // namespace tw::trace

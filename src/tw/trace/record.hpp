@@ -1,0 +1,139 @@
+#pragma once
+// Structured trace records: the fixed 32-byte unit of the observability
+// layer. Every instrumented component (kernel, controller, write pipeline,
+// cache) emits these into a per-thread ring (tw/trace/ring.hpp) through the
+// thread-local emission state (tw/trace/emit.hpp); sinks turn collected
+// records into Chrome trace_event JSON or metrics CSVs.
+//
+// Categories are a bitmask with two gates:
+//  * compile time — TW_TRACE_COMPILED_MASK (default: everything). A
+//    category compiled out folds its emission sites away entirely.
+//  * runtime — the per-thread mask installed by Tracer::Attach. A category
+//    compiled in but not enabled costs exactly one thread-local load and
+//    one predicted-not-taken branch per emission site.
+
+#include "tw/common/types.hpp"
+
+namespace tw::trace {
+
+/// Emission categories (bit positions in the category masks).
+enum class Category : u8 {
+  kKernel = 0,      ///< event kernel: dispatch, calendar-queue rotations
+  kController = 1,  ///< memory controller: enqueue/issue/complete/drain
+  kFsm = 2,         ///< write pipeline: SET/RESET pulse spans, line writes
+  kPacker = 3,      ///< analysis stage: packing decisions, interspace steals
+  kCache = 4,       ///< cache hierarchy: misses, writebacks
+  kMetrics = 5,     ///< periodic metrics snapshots (counter tracks)
+};
+inline constexpr u32 kCategoryCount = 6;
+
+constexpr u32 category_bit(Category c) { return 1u << static_cast<u32>(c); }
+
+/// All categories enabled.
+inline constexpr u32 kAllCategories = (1u << kCategoryCount) - 1;
+
+// Compile-time category mask: -DTW_TRACE_COMPILED_MASK=0 strips every
+// emission site from the build (used to measure the hooks' cost).
+#ifndef TW_TRACE_COMPILED_MASK
+#define TW_TRACE_COMPILED_MASK 0xFFFFFFFFu
+#endif
+inline constexpr u32 kCompiledMask = TW_TRACE_COMPILED_MASK;
+
+constexpr bool category_compiled(Category c) {
+  return (kCompiledMask & category_bit(c)) != 0;
+}
+
+/// What a record represents (mirrors Chrome trace_event phases).
+enum class Kind : u8 {
+  kInstant = 0,  ///< a point event; args carry the payload
+  kSpan = 1,     ///< a duration event: arg1 = duration in ticks
+  kCounter = 2,  ///< a sampled value: arg0 = bit-cast double
+};
+
+/// The operation a record describes. One namespace across categories so a
+/// record is self-describing without a per-category table.
+enum class Op : u16 {
+  // kKernel
+  kEventFire = 0,    ///< one kernel event dispatched (arg0 = executed count)
+  kFarMigrate = 1,   ///< calendar-queue window rotation (arg0 = migrated)
+  // kController
+  kReadEnqueue = 16,    ///< read accepted into the read queue
+  kWriteEnqueue = 17,   ///< write accepted into the write queue
+  kReadForward = 18,    ///< read served from queued write data
+  kWriteCoalesce = 19,  ///< write merged into a queued same-line write
+  kReadService = 20,    ///< span: read occupying its subarray
+  kWriteService = 21,   ///< span: write occupying its bank
+  kBatchService = 22,   ///< span: multi-line batched write on a bank
+  kWriteComplete = 23,  ///< write left service (pause-split aware)
+  kDrainStart = 24,     ///< controller entered write-drain mode
+  kDrainEnd = 25,       ///< controller left write-drain mode
+  kWritePause = 26,     ///< in-service write preempted at a unit boundary
+  kWriteResume = 27,    ///< paused write resumed (arg1 = remaining ticks)
+  kGapMove = 28,        ///< Start-Gap migration write (arg0 = region)
+  kDispatch = 29,       ///< scheduling round (arg0 = read q, arg1 = write q)
+  // kFsm
+  kSetPulse = 32,    ///< span: FSM1 driving one data unit's SETs
+  kResetPulse = 33,  ///< span: FSM0 driving one data unit's RESETs
+  kLineWrite = 34,   ///< span: one full hardware-level line write
+  // kPacker
+  kWrite1Pack = 48,   ///< write-1 placed into a write unit
+  kWrite0Steal = 49,  ///< write-0 stole an interspace sub-slot
+  kWrite0Trail = 50,  ///< write-0 appended a trailing sub-slot
+  // kCache
+  kCacheMiss = 64,       ///< missed every level: demand PCM read
+  kCacheWriteback = 65,  ///< dirty line cascaded out to PCM
+  // kMetrics
+  kGauge = 80,  ///< one sampled gauge value (counter kind)
+};
+
+/// Visualization track domains (Chrome pid); the low 24 bits of a track id
+/// select the instance (Chrome tid).
+enum class Track : u8 {
+  kKernel = 0,
+  kBank = 1,
+  kSubarray = 2,
+  kFsm0 = 3,
+  kFsm1 = 4,
+  kCore = 5,
+  kQueue = 6,  ///< 0 = read queue, 1 = write queue
+  kPacker = 7,
+  kCache = 8,
+  kMetrics = 9,
+};
+inline constexpr u32 kTrackDomains = 10;
+
+constexpr u32 track_id(Track domain, u32 index) {
+  return (static_cast<u32>(domain) << 24) | (index & 0x00FFFFFFu);
+}
+constexpr Track track_domain(u32 id) { return static_cast<Track>(id >> 24); }
+constexpr u32 track_index(u32 id) { return id & 0x00FFFFFFu; }
+
+/// One trace record. Exactly 32 bytes so a ring slot is two cache lines of
+/// sixteen records and wrap arithmetic is a shift.
+struct TraceRecord {
+  Tick tick = 0;  ///< absolute simulated time (ps)
+  u64 arg0 = 0;   ///< op-specific payload
+  u64 arg1 = 0;   ///< op-specific payload; duration (ticks) for kSpan
+  u32 track = 0;  ///< visualization track (see track_id)
+  Op op = Op::kEventFire;
+  Category category = Category::kKernel;
+  Kind kind = Kind::kInstant;
+};
+static_assert(sizeof(TraceRecord) == 32);
+
+/// Stable short name of an operation (Chrome event name).
+const char* op_name(Op op);
+/// Stable short name of a category (Chrome "cat" field; CLI spelling).
+const char* category_name(Category c);
+/// Stable name of a track domain (Chrome process name).
+const char* track_domain_name(Track t);
+
+/// Parse a comma-separated category list ("controller,fsm", "all",
+/// "none") into a mask. Unknown names are ignored; returns kAllCategories
+/// for an empty string.
+u32 parse_categories(const char* csv);
+/// Render a mask back to the comma-separated spelling.
+// (Defined in tracer.cpp with the other string tables.)
+void append_category_list(u32 mask, char* buf, unsigned long buf_size);
+
+}  // namespace tw::trace

@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-capacity record ring. Each tracing thread owns exactly one ring
+// (single producer); the Tracer drains rings only at collection points
+// (between parallel regions or at end of run), so no push/drain race
+// exists by construction and pushes are plain stores — no atomics on the
+// hot path. When the ring fills it wraps, overwriting the oldest records:
+// tracing a long run keeps the most recent window instead of failing, and
+// `dropped()` reports how much history was lost.
+
+#include <cstring>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/trace/record.hpp"
+
+namespace tw::trace {
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 16) so the wrap
+  /// is a mask, not a divide.
+  explicit TraceRing(u64 capacity = kDefaultCapacity) {
+    u64 cap = 16;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  static constexpr u64 kDefaultCapacity = 1u << 20;  // 32 MiB of records
+
+  void push(const TraceRecord& r) {
+    slots_[head_ & mask_] = r;
+    ++head_;
+  }
+
+  u64 capacity() const { return mask_ + 1; }
+  /// Total records ever pushed (monotonic, survives wraparound).
+  u64 pushed() const { return head_; }
+  /// Records overwritten by wraparound.
+  u64 dropped() const { return head_ > capacity() ? head_ - capacity() : 0; }
+  /// Records currently held.
+  u64 size() const { return head_ - dropped(); }
+
+  /// Copy the surviving records, oldest first, into `out` (appending).
+  void collect(std::vector<TraceRecord>& out) const {
+    u64 n = size();
+    u64 first = head_ - n;  // oldest surviving sequence number
+    out.reserve(out.size() + n);
+    for (u64 i = 0; i < n; ++i) out.push_back(slots_[(first + i) & mask_]);
+  }
+
+  void clear() { head_ = 0; }
+
+ private:
+  std::vector<TraceRecord> slots_;
+  u64 mask_ = 0;
+  u64 head_ = 0;  // next write position; monotonic
+};
+
+}  // namespace tw::trace

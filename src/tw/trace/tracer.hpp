@@ -1,0 +1,80 @@
+#pragma once
+// Tracer: owns the per-thread rings, installs/clears the thread-local
+// emission state, and collects everything into one time-sorted record
+// stream for the sinks. Also defines the RunManifest embedded in every
+// trace header so a trace file is self-describing (what binary, what
+// config, what seed produced it).
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tw/trace/emit.hpp"
+
+namespace tw::trace {
+
+/// Provenance of a traced run, embedded in the trace header.
+struct RunManifest {
+  std::string tool = "tetriswrite";
+  std::string version;      ///< library version (kVersionString)
+  std::string git_sha;      ///< build-time git SHA ("unknown" outside git)
+  std::string scheme;       ///< write scheme under test
+  std::string workload;     ///< workload profile name
+  std::string categories;   ///< enabled categories, comma-separated
+  u64 config_hash = 0;      ///< field-mixing hash of the SystemConfig
+  u64 seed = 0;
+  std::vector<std::string> counter_names;  ///< kMetrics gauge index → name
+};
+
+/// The git SHA baked in at configure time (see root CMakeLists.txt).
+const char* build_git_sha();
+
+/// Owns rings and the attach/collect lifecycle. A Tracer outlives every
+/// Attach scope it hands out; rings register under a mutex (cold path) but
+/// emission itself never takes it.
+class Tracer {
+ public:
+  explicit Tracer(u32 mask = kAllCategories,
+                  u64 ring_capacity = TraceRing::kDefaultCapacity)
+      : mask_(mask), ring_capacity_(ring_capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  u32 mask() const { return mask_; }
+
+  /// RAII scope: attaches the calling thread to this tracer for its
+  /// lifetime. Nested attaches save/restore, so a traced region can run
+  /// inside an untraced one (and vice versa).
+  class Attach {
+   public:
+    explicit Attach(Tracer& t) : saved_(g_tls) {
+      g_tls.ring = &t.ring_for_current_thread();
+      g_tls.mask = t.mask_;
+    }
+    ~Attach() { g_tls = saved_; }
+    Attach(const Attach&) = delete;
+    Attach& operator=(const Attach&) = delete;
+
+   private:
+    ThreadState saved_;
+  };
+
+  /// All surviving records from every ring, merged and stably sorted by
+  /// tick. Call only when no attached thread is emitting.
+  std::vector<TraceRecord> collect() const;
+
+  /// Total records ever emitted / lost to wraparound, across rings.
+  u64 total_pushed() const;
+  u64 total_dropped() const;
+
+ private:
+  TraceRing& ring_for_current_thread();
+
+  u32 mask_;
+  u64 ring_capacity_;
+  mutable std::mutex mu_;  // guards rings_ growth only
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+}  // namespace tw::trace
