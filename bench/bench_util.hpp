@@ -15,6 +15,7 @@
 #include "tw/common/parallel.hpp"
 #include "tw/common/strings.hpp"
 #include "tw/common/svg.hpp"
+#include "tw/fault/fault.hpp"
 #include "tw/harness/figure.hpp"
 #include "tw/trace/record.hpp"
 
@@ -32,6 +33,7 @@ struct Options {
   std::string trace_path;   ///< optional Chrome trace of one traced run
   std::string trace_metrics_path;  ///< optional metrics-snapshot CSV
   u32 trace_categories = trace::kAllCategories;
+  fault::FaultProfile fault_profile = fault::FaultProfile::kNone;
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -63,10 +65,21 @@ struct Options {
       } else if (starts_with(arg, "--trace-categories=")) {
         o.trace_categories =
             trace::parse_categories(value("--trace-categories="));
+      } else if (starts_with(arg, "--fault-profile=")) {
+        const auto p =
+            fault::parse_fault_profile(value("--fault-profile="));
+        if (!p) {
+          std::cerr << "unknown fault profile '"
+                    << value("--fault-profile=")
+                    << "' (none|light|heavy|stuck-bank)\n";
+          std::exit(2);
+        }
+        o.fault_profile = *p;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick --ops=N --seed=N --threads=N "
                      "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
-                     "--trace-metrics=PATH --trace-categories=LIST\n";
+                     "--trace-metrics=PATH --trace-categories=LIST "
+                     "--fault-profile=none|light|heavy|stuck-bank\n";
         std::exit(0);
       }
     }
@@ -131,6 +144,7 @@ inline harness::SystemConfig system_config(
   harness::SystemConfig cfg;
   cfg.instructions_per_core = instructions_for(p, o);
   cfg.seed = o.seed;
+  cfg.fault = fault::profile_config(o.fault_profile);
   return cfg;
 }
 

@@ -129,14 +129,81 @@ HwWriteResult HwExecutor::write_line(pcm::PcmArray& array, u64 base_bit,
     }
   }
 
-  // Post-conditions: the array now holds the requested logical data and
-  // the pulse count equals the read stage's transition counts.
-  for (u32 u = 0; u < units; ++u) {
-    const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
-    const u64 cells = array.read_word(base, bits);
-    const bool tag = array.read(base + bits);
-    const u64 logical = tag ? (~cells & low_mask(bits)) : cells;
-    TW_ENSURES(logical == (next.word(u) & low_mask(bits)));
+  // Verify-and-retry: sense each unit back and re-drive cells a fault
+  // hook failed, advancing the array's retry ordinal per pass (widened
+  // pulses; the hook damps their failure probability). A cell's retry
+  // pulse has the same direction as its failed pulse, so the exclusivity
+  // invariant holds through the ladder.
+  auto unit_target = [&](u32 u) {
+    return plans[u].new_cells & low_mask(bits);
+  };
+  auto unit_tag_target = [&](u32 u) {
+    return plans[u].tag_changed ? plans[u].tag_to_one : before.flip(u);
+  };
+  auto count_wrong = [&]() {
+    u64 wrong = 0;
+    for (u32 u = 0; u < units; ++u) {
+      const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+      wrong += popcount((array.read_word(base, bits) ^ unit_target(u)) &
+                        low_mask(bits));
+      if (array.read(base + bits) != unit_tag_target(u)) ++wrong;
+    }
+    return wrong;
+  };
+  u64 wrong = count_wrong();
+  while (wrong > 0 && result.retry_attempts < max_retries_) {
+    ++result.retry_attempts;
+    array.set_fault_attempt(result.retry_attempts);
+    for (u32 u = 0; u < units; ++u) {
+      const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+      const u64 target = unit_target(u);
+      u64 diff = (array.read_word(base, bits) ^ target) & low_mask(bits);
+      for (u32 i = 0; i < bits && diff != 0; ++i) {
+        if (((diff >> i) & 1u) == 0) continue;
+        const bool want = ((target >> i) & 1u) != 0;
+        const WritePass pass = want ? WritePass::kSet : WritePass::kReset;
+        const pcm::ProgramResult pr = array.program(base + i, want);
+        if (observer) observer->on_pulse(base + i, pass, pr);
+        if (pr == pcm::ProgramResult::kWornOut) continue;
+        if (want) {
+          ++result.retry_pulses.sets;
+        } else {
+          ++result.retry_pulses.resets;
+        }
+      }
+      const bool tag_target = unit_tag_target(u);
+      if (array.read(base + bits) != tag_target) {
+        const WritePass pass =
+            tag_target ? WritePass::kSet : WritePass::kReset;
+        const pcm::ProgramResult pr =
+            array.program(base + bits, tag_target);
+        if (observer) observer->on_pulse(base + bits, pass, pr);
+        if (pr != pcm::ProgramResult::kWornOut) {
+          if (tag_target) {
+            ++result.retry_pulses.sets;
+          } else {
+            ++result.retry_pulses.resets;
+          }
+        }
+      }
+    }
+    wrong = count_wrong();
+  }
+  array.set_fault_attempt(0);
+  result.failed_bits = wrong;
+
+  // Post-conditions: the array now holds the requested logical data
+  // (except cells the fault ladder exhausted, reported in failed_bits)
+  // and the first-drive pulse count equals the read stage's transition
+  // counts (failed pulses were still driven).
+  if (result.failed_bits == 0) {
+    for (u32 u = 0; u < units; ++u) {
+      const u64 base = base_bit + static_cast<u64>(u) * (bits + 1);
+      const u64 cells = array.read_word(base, bits);
+      const bool tag = array.read(base + bits);
+      const u64 logical = tag ? (~cells & low_mask(bits)) : cells;
+      TW_ENSURES(logical == (next.word(u) & low_mask(bits)));
+    }
   }
   const BitTransitions expected = result.analysis.read.total();
   TW_ENSURES(result.pulses.sets == expected.sets);

@@ -22,8 +22,11 @@ namespace tw::core {
 struct HwWriteResult {
   TetrisAnalysis analysis;   ///< read + packing stages
   FsmTrace trace;            ///< executed FSM schedule
-  BitTransitions pulses;     ///< cell pulses actually driven
+  BitTransitions pulses;     ///< first-drive cell pulses (== planned count)
   Tick service_time = 0;     ///< Eq. 5 write-phase length
+  u32 retry_attempts = 0;    ///< verify-and-retry passes run
+  BitTransitions retry_pulses;  ///< extra pulses driven by retry passes
+  u64 failed_bits = 0;       ///< cells still wrong after the last retry
 };
 
 /// Layout: each data unit occupies (unit_bits + 1) cells in the array —
@@ -42,6 +45,16 @@ class HwExecutor {
     observer_ = observer;
   }
 
+  /// Arm the verify-and-retry path: after driving the FSM schedule the
+  /// executor senses each unit back, and cells that missed their target
+  /// (a fault hook on the array failed their pulse) are re-driven for up
+  /// to `max_retries` extra passes. The array's fault-attempt ordinal is
+  /// advanced per pass so the hook can damp widened retry pulses. 0 (the
+  /// default) keeps today's strict single-pass behavior; cells that are
+  /// still wrong after the last retry are reported in failed_bits instead
+  /// of tripping the post-conditions.
+  void set_max_retries(u32 max_retries) { max_retries_ = max_retries; }
+
   /// Read the current logical line content from the array.
   pcm::LogicalLine read_line(const pcm::PcmArray& array,
                              u64 base_bit) const;
@@ -57,6 +70,7 @@ class HwExecutor {
 
   const TetrisScheme& scheme_;
   PulseObserver* observer_ = nullptr;
+  u32 max_retries_ = 0;
 };
 
 }  // namespace tw::core

@@ -44,7 +44,7 @@ PackerConfig TetrisScheme::make_packer_config() const {
   PackerConfig p;
   p.k = cfg_.k();
   p.l = cfg_.l();
-  p.budget = cfg_.bank_power_budget();
+  p.budget = effective_budget();
   p.forbid_self_overlap = opts_.forbid_self_overlap;
   p.order = opts_.pack_order;
   return p;
@@ -95,6 +95,39 @@ TetrisAnalysis TetrisScheme::analyze(const pcm::LineBuf& line,
     (void)execute_fsms(a.pack, a.packer_cfg, cfg_.timing);
   }
   return a;
+}
+
+Tick TetrisScheme::plan_retry(const BitTransitions& failed, u32 attempt,
+                              double widen) const {
+  TW_EXPECTS(attempt >= 1);
+  TW_EXPECTS(widen >= 1.0);
+  if (failed.total() == 0) return 0;
+  const u32 units = cfg_.geometry.units_per_line();
+  u32 n1[pcm::kMaxUnitsPerLine] = {};
+  u32 n0[pcm::kMaxUnitsPerLine] = {};
+  for (u32 i = 0; i < failed.sets; ++i) ++n1[i % units];
+  for (u32 i = 0; i < failed.resets; ++i) ++n0[i % units];
+  CountsVec counts;
+  for (u32 u = 0; u < units; ++u) {
+    if (n1[u] == 0 && n0[u] == 0) continue;
+    UnitCounts c;
+    c.unit = u;
+    c.n1 = n1[u];
+    c.n0 = n0[u];
+    counts.push_back(c);
+  }
+  const PackerConfig pcfg = make_packer_config();
+  const PackResult packed = pack(counts, pcfg);
+  const Tick sub = cfg_.timing.t_set / pcfg.k;
+  const Tick write_phase =
+      packed.result * cfg_.timing.t_set + packed.subresult * sub;
+  // Exponential pulse widening stretches the write phase; the verify read
+  // and re-analysis ride at nominal speed. Repeated multiplication (no
+  // std::pow) for cross-compiler bit-identity.
+  double factor = 1.0;
+  for (u32 i = 0; i < attempt; ++i) factor *= widen;
+  return opts_.analysis_latency() +
+         static_cast<Tick>(static_cast<double>(write_phase) * factor);
 }
 
 schemes::ServicePlan TetrisScheme::plan_write(

@@ -71,6 +71,14 @@ class TetrisScheme final : public schemes::WriteScheme {
   TetrisAnalysis analyze(const pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const;
 
+  /// Retry pricing for the fault-injection verify-and-retry path: the
+  /// failed bits re-enter the packer (spread round-robin over the line's
+  /// units, the way scattered cell failures present) under the *current*
+  /// effective budget, so retries planned inside a brown-out window pack
+  /// against the shrunken budget like any first-attempt write.
+  Tick plan_retry(const BitTransitions& failed, u32 attempt,
+                  double widen) const override;
+
   const TetrisOptions& options() const { return opts_; }
 
  private:

@@ -1,0 +1,66 @@
+#include "tw/fault/fault.hpp"
+
+namespace tw::fault {
+
+FaultConfig profile_config(FaultProfile profile) {
+  FaultConfig c;
+  switch (profile) {
+    case FaultProfile::kNone:
+      break;
+    case FaultProfile::kLight:
+      // Rare transients, shallow brown-outs: every workload completes with
+      // zero invariant violations and the paper's scheme ranking holds.
+      c.set_fail_prob = 1e-3;
+      c.reset_fail_prob = 5e-4;
+      c.max_retries = 3;
+      c.brownout_period = us(100);
+      c.brownout_duration = us(5);
+      c.brownout_budget_factor = 0.5;
+      break;
+    case FaultProfile::kHeavy:
+      // Aggressive transients, endurance wear-out, deep brown-outs —
+      // the stress profile for the resilience machinery itself.
+      c.set_fail_prob = 2e-2;
+      c.reset_fail_prob = 1e-2;
+      c.max_retries = 5;
+      c.wear_knee = 64;
+      c.worn_fail_prob = 0.05;
+      c.brownout_period = us(50);
+      c.brownout_duration = us(10);
+      c.brownout_budget_factor = 0.25;
+      break;
+    case FaultProfile::kStuckBank:
+      // Light transients plus one bank hard-failed at power-on, to
+      // exercise the graceful-degradation remap path.
+      c.set_fail_prob = 1e-3;
+      c.reset_fail_prob = 5e-4;
+      c.max_retries = 3;
+      c.stuck_bank = 2;
+      break;
+  }
+  return c;
+}
+
+std::string_view profile_name(FaultProfile profile) {
+  switch (profile) {
+    case FaultProfile::kNone:
+      return "none";
+    case FaultProfile::kLight:
+      return "light";
+    case FaultProfile::kHeavy:
+      return "heavy";
+    case FaultProfile::kStuckBank:
+      return "stuck-bank";
+  }
+  return "unknown";
+}
+
+std::optional<FaultProfile> parse_fault_profile(std::string_view name) {
+  if (name == "none") return FaultProfile::kNone;
+  if (name == "light") return FaultProfile::kLight;
+  if (name == "heavy") return FaultProfile::kHeavy;
+  if (name == "stuck-bank") return FaultProfile::kStuckBank;
+  return std::nullopt;
+}
+
+}  // namespace tw::fault

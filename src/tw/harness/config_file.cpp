@@ -157,6 +157,64 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.tetris.forbid_self_overlap = to_bool(v);
        }},
+      // -- fault injection --------------------------------------------------
+      {"fault.profile",
+       [](SystemConfig& c, const std::string& v) {
+         const auto p = fault::parse_fault_profile(v);
+         if (!p) {
+           throw std::runtime_error(
+               "fault profile must be none|light|heavy|stuck-bank");
+         }
+         c.fault = fault::profile_config(*p);
+       }},
+      {"fault.set_fail_prob",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.set_fail_prob = to_double(v);
+       }},
+      {"fault.reset_fail_prob",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.reset_fail_prob = to_double(v);
+       }},
+      {"fault.max_retries",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.max_retries = static_cast<u32>(to_u64(v));
+       }},
+      {"fault.retry_widening",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.retry_widening = to_double(v);
+       }},
+      {"fault.retry_fail_damping",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.retry_fail_damping = to_double(v);
+       }},
+      {"fault.wear_knee",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.wear_knee = to_u64(v);
+       }},
+      {"fault.worn_fail_prob",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.worn_fail_prob = to_double(v);
+       }},
+      {"fault.stuck_bank",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.stuck_bank = static_cast<u32>(to_u64(v));
+       }},
+      {"fault.stuck_bank_prob",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.stuck_bank_prob = to_double(v);
+       }},
+      {"fault.brownout_period_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.brownout_period = ns(to_u64(v));
+       }},
+      {"fault.brownout_duration_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.brownout_duration = ns(to_u64(v));
+       }},
+      {"fault.brownout_budget_factor",
+       [](SystemConfig& c, const std::string& v) {
+         c.fault.brownout_budget_factor = to_double(v);
+       }},
       // -- run -------------------------------------------------------------
       {"sys.cores",
        [](SystemConfig& c, const std::string& v) {
@@ -264,6 +322,25 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
   out << "tetris.analysis_cycles = " << cfg.tetris.analysis_cycles << "\n";
   out << "tetris.forbid_self_overlap = "
       << (cfg.tetris.forbid_self_overlap ? "true" : "false") << "\n";
+  if (cfg.fault.enabled()) {
+    // Only emitted when faults are on, so fault-free dumps are unchanged.
+    out << "fault.set_fail_prob = " << cfg.fault.set_fail_prob << "\n";
+    out << "fault.reset_fail_prob = " << cfg.fault.reset_fail_prob << "\n";
+    out << "fault.max_retries = " << cfg.fault.max_retries << "\n";
+    out << "fault.retry_widening = " << cfg.fault.retry_widening << "\n";
+    out << "fault.retry_fail_damping = " << cfg.fault.retry_fail_damping
+        << "\n";
+    out << "fault.wear_knee = " << cfg.fault.wear_knee << "\n";
+    out << "fault.worn_fail_prob = " << cfg.fault.worn_fail_prob << "\n";
+    out << "fault.stuck_bank = " << cfg.fault.stuck_bank << "\n";
+    out << "fault.stuck_bank_prob = " << cfg.fault.stuck_bank_prob << "\n";
+    out << "fault.brownout_period_ns = " << cfg.fault.brownout_period / 1000
+        << "\n";
+    out << "fault.brownout_duration_ns = "
+        << cfg.fault.brownout_duration / 1000 << "\n";
+    out << "fault.brownout_budget_factor = "
+        << cfg.fault.brownout_budget_factor << "\n";
+  }
   out << "sys.cores = " << cfg.cores << "\n";
   out << "sys.instructions = " << cfg.instructions_per_core << "\n";
   out << "sys.seed = " << cfg.seed << "\n";

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "tw/common/version.hpp"
+#include "tw/fault/fault_model.hpp"
 #include "tw/stats/registry.hpp"
 #include "tw/trace/chrome_sink.hpp"
 #include "tw/trace/metrics_sink.hpp"
@@ -91,6 +92,23 @@ void add_standard_gauges(trace::MetricsSnapshotter& snap, sim::Simulator& sim,
                  });
 }
 
+/// Per-epoch fault gauges; only registered when a fault model is active so
+/// fault-free traces keep their exact current column set.
+void add_fault_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
+  const auto epoch_delta = [&reg](const char* name) {
+    return [&reg, name, prev = 0.0]() mutable {
+      const double t = static_cast<double>(reg.counter(name).value());
+      const double d = t - prev;
+      prev = t;
+      return d;
+    };
+  };
+  snap.add_gauge("fault_retries_epoch", epoch_delta("mem.fault_retries"));
+  snap.add_gauge("failed_lines_epoch", epoch_delta("mem.failed_lines"));
+  snap.add_gauge("brownout_writes_epoch",
+                 epoch_delta("mem.brownout_writes"));
+}
+
 }  // namespace
 
 u64 config_hash(const SystemConfig& cfg) {
@@ -145,6 +163,19 @@ u64 config_hash(const SystemConfig& cfg) {
   h = mix(h, cfg.instructions_per_core);
   h = mix(h, cfg.seed);
   h = mix(h, cfg.max_sim_time);
+  // Fault injection.
+  h = mix_double(h, cfg.fault.set_fail_prob);
+  h = mix_double(h, cfg.fault.reset_fail_prob);
+  h = mix(h, cfg.fault.max_retries);
+  h = mix_double(h, cfg.fault.retry_widening);
+  h = mix_double(h, cfg.fault.retry_fail_damping);
+  h = mix(h, cfg.fault.wear_knee);
+  h = mix_double(h, cfg.fault.worn_fail_prob);
+  h = mix(h, cfg.fault.stuck_bank);
+  h = mix_double(h, cfg.fault.stuck_bank_prob);
+  h = mix(h, cfg.fault.brownout_period);
+  h = mix(h, cfg.fault.brownout_duration);
+  h = mix_double(h, cfg.fault.brownout_budget_factor);
   return h;
 }
 
@@ -155,8 +186,15 @@ RunMetrics run_system(const SystemConfig& cfg,
   stats::Registry reg;
 
   const auto scheme = core::make_scheme(kind, cfg.pcm, cfg.tetris);
+  std::optional<fault::FaultModel> fmodel;
+  if (cfg.fault.enabled()) {
+    fmodel.emplace(cfg.fault,
+                   cfg.pcm.geometry.banks * cfg.pcm.geometry.ranks,
+                   cfg.seed);
+  }
   mem::Controller controller(sim, cfg.pcm, cfg.controller, *scheme, reg,
-                             cfg.seed, profile.initial_ones_fraction);
+                             cfg.seed, profile.initial_ones_fraction,
+                             fmodel ? &*fmodel : nullptr);
   workload::TraceGenerator gen(profile, cfg.pcm.geometry, cfg.cores,
                                cfg.seed * 0x9E3779B9u + 7);
   cpu::MultiCore cpus(sim, cfg.core, cfg.cores, controller, gen,
@@ -173,6 +211,7 @@ RunMetrics run_system(const SystemConfig& cfg,
     attach.emplace(*tracer);
     snapshotter.emplace(sim, reg, cfg.trace.metrics_epoch);
     add_standard_gauges(*snapshotter, sim, controller, reg);
+    if (fmodel) add_fault_gauges(*snapshotter, reg);
     snapshotter->start();
   }
 
@@ -240,6 +279,10 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.write_q_peak = controller.write_queue_peak();
   m.dispatch_rounds = reg.counter("mem.dispatch_rounds").value();
   m.row_hits = reg.counter("mem.row_hits").value();
+  m.fault_retries = reg.counter("mem.fault_retries").value();
+  m.failed_lines = reg.counter("mem.failed_lines").value();
+  m.brownout_writes = reg.counter("mem.brownout_writes").value();
+  m.stuck_remaps = reg.counter("mem.stuck_remaps").value();
   return m;
 }
 

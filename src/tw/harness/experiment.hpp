@@ -7,6 +7,7 @@
 
 #include "tw/core/factory.hpp"
 #include "tw/cpu/multicore.hpp"
+#include "tw/fault/fault.hpp"
 #include "tw/mem/controller.hpp"
 #include "tw/trace/tracer.hpp"
 #include "tw/workload/profiles.hpp"
@@ -37,6 +38,7 @@ struct SystemConfig {
   mem::ControllerConfig controller;    ///< FRFCFS queues + drain policy
   cpu::CoreConfig core;                ///< 2 GHz, peak IPC, MLP window
   core::TetrisOptions tetris;          ///< analysis overhead etc.
+  fault::FaultConfig fault;            ///< fault injection (off by default)
   TraceConfig trace;                   ///< structured tracing (off by default)
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
@@ -87,6 +89,11 @@ struct RunMetrics {
   u64 trace_records = 0;   ///< records collected into the sinks
   u64 trace_dropped = 0;   ///< records lost to ring wraparound
   u64 trace_samples = 0;   ///< metrics snapshots taken
+  // Fault injection (zero when faults were off).
+  u64 fault_retries = 0;    ///< verify-and-retry attempts run
+  u64 failed_lines = 0;     ///< lines still failed after the retry ladder
+  u64 brownout_writes = 0;  ///< writes planned under a shrunken budget
+  u64 stuck_remaps = 0;     ///< services redirected off a stuck bank
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

@@ -22,17 +22,21 @@ constexpr u32 bank_track(u32 bank) {
 constexpr u32 sub_track(u32 sub) {
   return trace::track_id(trace::Track::kSubarray, sub);
 }
+constexpr auto kFaultCat = trace::Category::kFault;
+constexpr u32 kFaultTrack = trace::track_id(trace::Track::kFault, 0);
 }  // namespace
 
 Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
                        ControllerConfig cfg, schemes::WriteScheme& scheme,
                        stats::Registry& registry, u64 data_seed,
-                       double ones_bias)
+                       double ones_bias, const fault::FaultModel* fault)
     : sim_(sim),
       pcm_(pcm_cfg),
       cfg_(cfg),
       scheme_(scheme),
       reg_(registry),
+      fault_(fault),
+      fault_remap_(fault != nullptr && fault->any_bank_stuck()),
       map_(pcm_cfg.geometry),
       store_(pcm_cfg.geometry.units_per_line(), data_seed, ones_bias),
       banks_(map_.total_banks()),
@@ -42,7 +46,10 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       write_by_bank_(map_.total_banks()),
       subs_with_reads_((map_.total_subarrays() + 63) / 64, 0),
       banks_with_writes_((map_.total_banks() + 63) / 64, 0),
-      static_mapping_(!cfg.wear_leveling),
+      // Stuck-bank remapping moves requests' effective (bank, subarray)
+      // away from the decoded location, which only the exact age-ordered
+      // dispatch paths tolerate (same reason as wear leveling).
+      static_mapping_(!cfg.wear_leveling && !fault_remap_),
       open_row_(map_.total_banks()),
       active_write_(map_.total_banks()),
       paused_write_(map_.total_banks()),
@@ -59,6 +66,10 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       c_row_hits_(registry.counter("mem.row_hits")),
       c_row_misses_(registry.counter("mem.row_misses")),
       c_dispatches_(registry.counter("mem.dispatch_rounds")),
+      c_fault_retries_(registry.counter("mem.fault_retries")),
+      c_failed_lines_(registry.counter("mem.failed_lines")),
+      c_brownout_writes_(registry.counter("mem.brownout_writes")),
+      c_stuck_remaps_(registry.counter("mem.stuck_remaps")),
       a_read_latency_(registry.accumulator("mem.read_latency_ns")),
       a_write_latency_(registry.accumulator("mem.write_latency_ns")),
       a_write_units_(registry.accumulator("mem.write_units")),
@@ -304,7 +315,7 @@ bool Controller::read_waiting_for_subarray(u32 subarray) {
   if (static_mapping_) return !read_by_sub_[subarray].empty();
   for (u32 id = read_age_.head(); id != kNilIndex;
        id = read_age_.next(nodes_, id)) {
-    if (map_.flat_subarray(physical_of(nodes_[id].req.addr)) == subarray) {
+    if (eff_sub(physical_of(nodes_[id].req.addr)) == subarray) {
       return true;
     }
   }
@@ -453,13 +464,13 @@ void Controller::dispatch_reads_exact(Tick now) {
   while (id != kNilIndex) {
     const u32 nxt = read_age_.next(nodes_, id);
     const Addr phys = physical_of(nodes_[id].req.addr);
-    const u32 subarray = map_.flat_subarray(phys);
+    const u32 subarray = eff_sub(phys);
     if (subarrays_[subarray].idle_at(now)) {
       unlink_read(id);
       issue_read(take_node(id));
       notify_space();
     } else if (cfg_.write_pausing) {
-      try_pause(map_.flat_bank(phys), subarray);
+      try_pause(eff_bank(phys), subarray);
     }
     id = nxt;
   }
@@ -560,8 +571,8 @@ void Controller::dispatch_writes_exact(Tick now) {
     }
     u32 nxt = write_age_.next(nodes_, id);
     const Addr phys_w = physical_of(nodes_[id].req.addr);
-    const u32 bank = map_.flat_bank(phys_w);
-    const u32 subarray_w = map_.flat_subarray(phys_w);
+    const u32 bank = eff_bank(phys_w);
+    const u32 subarray_w = eff_sub(phys_w);
     if (banks_[bank].idle_at(now) && subarrays_[subarray_w].idle_at(now) &&
         !paused_write_[bank].has_value()) {
       unlink_write(id);
@@ -572,7 +583,7 @@ void Controller::dispatch_writes_exact(Tick now) {
         u32 scan = nxt;
         while (scan != kNilIndex && batch.size() < cfg_.write_batch) {
           const u32 snxt = write_age_.next(nodes_, scan);
-          if (map_.flat_bank(physical_of(nodes_[scan].req.addr)) == bank) {
+          if (eff_bank(physical_of(nodes_[scan].req.addr)) == bank) {
             unlink_write(scan);
             batch.push_back(take_node(scan));
           }
@@ -599,12 +610,76 @@ void Controller::dispatch_writes_exact(Tick now) {
   }
 }
 
+// -- Fault injection ------------------------------------------------------
+
+void Controller::note_stuck_remap(Addr phys) {
+  if (!fault_remap_) return;
+  const u32 raw = map_.flat_bank(phys);
+  const u32 eff = fault_->remap_bank(raw);
+  if (eff == raw) return;
+  c_stuck_remaps_.inc();
+  if (trace::on<kFaultCat>()) {
+    trace::emit_instant(kFaultCat, trace::Op::kStuckRemap, kFaultTrack,
+                        sim_.now(), raw, eff);
+  }
+}
+
+double Controller::begin_plan_scope(Tick now) {
+  if (fault_ == nullptr) return 1.0;
+  const double factor = fault_->budget_factor(now);
+  if (factor != 1.0) {
+    scheme_.set_budget_scale(factor);
+    c_brownout_writes_.inc();
+    if (trace::on<kFaultCat>()) {
+      trace::emit_instant(kFaultCat, trace::Op::kBrownoutWrite, kFaultTrack,
+                          now, scheme_.effective_budget(),
+                          pcm_.bank_power_budget());
+    }
+  }
+  return factor;
+}
+
+void Controller::end_plan_scope(double factor) {
+  if (factor != 1.0) scheme_.set_budget_scale(1.0);
+}
+
+Tick Controller::apply_line_faults(Addr phys,
+                                   const schemes::ServicePlan& plan) {
+  if (fault_ == nullptr) return 0;
+  const u32 line_bits =
+      store_.units_per_line() * pcm_.geometry.data_unit_bits;
+  const fault::LineFaultOutcome out = fault_->plan_line_faults(
+      phys, ++fault_seq_, plan, scheme_, wear_.line(phys).bits_programmed,
+      line_bits);
+  if (out.attempts > 0) {
+    energy_.add_write(out.retry_pulses);
+    wear_.record_retry(phys, out.retry_pulses);
+    c_fault_retries_.inc(out.attempts);
+    if (trace::on<kFaultCat>()) {
+      trace::emit_instant(kFaultCat, trace::Op::kFaultRetry, kFaultTrack,
+                          sim_.now(), out.attempts, out.extra_latency);
+    }
+  }
+  if (out.line_failed) {
+    // Retries exhausted: surface the FailedLine stat (higher-level ECC's
+    // problem) and keep going — resilience means not asserting here.
+    c_failed_lines_.inc();
+    if (trace::on<kFaultCat>()) {
+      trace::emit_instant(kFaultCat, trace::Op::kLineFailed, kFaultTrack,
+                          sim_.now(), out.failed_sets + out.failed_resets,
+                          phys);
+    }
+  }
+  return out.extra_latency;
+}
+
 // -- Device issue paths ---------------------------------------------------
 
 void Controller::issue_read(MemoryRequest req) {
   const Tick now = sim_.now();
   const Addr phys = physical_of(req.addr);
-  const u32 subarray = map_.flat_subarray(phys);
+  const u32 subarray = eff_sub(phys);
+  note_stuck_remap(phys);
   const Tick service = scheme_.read_latency() + cfg_.read_bus_time;
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
@@ -613,7 +688,7 @@ void Controller::issue_read(MemoryRequest req) {
     trace::emit_span(kCat, trace::Op::kReadService, sub_track(subarray), now,
                      service, req.id);
   }
-  note_row_activate(map_.flat_bank(phys), phys);
+  note_row_activate(eff_bank(phys), phys);
   energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
 
   req.start_tick = now;
@@ -637,15 +712,20 @@ void Controller::issue_read(MemoryRequest req) {
 void Controller::issue_write(MemoryRequest req, Tick service_override) {
   const Tick now = sim_.now();
   const Addr phys = physical_of(req.addr);
-  const u32 bank = map_.flat_bank(phys);
-  const u32 subarray = map_.flat_subarray(phys);
+  const u32 bank = eff_bank(phys);
+  const u32 subarray = eff_sub(phys);
 
   Tick service = service_override;
   if (service == 0) {
+    note_stuck_remap(phys);
     pcm::LineBuf& line = store_.line(phys);
     // The context hands the analysis stage (packer, FSM expansion) an
     // absolute time base + bank track for its own emissions.
     trace::ScopedContext tctx(now, bank_track(bank));
+    // Writes planned inside a charge-pump brown-out window pack against
+    // the shrunken budget; the scope stays open through the fault pricing
+    // so retry sub-requests see the same budget.
+    const double bscale = begin_plan_scope(now);
     const schemes::ServicePlan plan = scheme_.plan_write(line, req.data);
     service = plan.latency;
 
@@ -661,8 +741,10 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
       energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
     }
     wear_.record(phys, plan.programmed);
+    service += apply_line_faults(phys, plan);
+    end_plan_scope(bscale);
     a_write_units_.add(plan.write_units);
-    a_write_service_.add(to_ns(plan.latency));
+    a_write_service_.add(to_ns(service));
     if (plan.power_util > 0.0) a_power_util_.add(plan.power_util);
     note_row_activate(bank, phys);
   }
@@ -703,7 +785,7 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
 void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   TW_EXPECTS(reqs.size() >= 2);
   const Tick now = sim_.now();
-  const u32 bank = map_.flat_bank(physical_of(reqs.front().addr));
+  const u32 bank = eff_bank(physical_of(reqs.front().addr));
 
   // Scratch for the scheme call: batches are bounded by write_batch
   // (small), so these stay in inline storage on the steady-state path.
@@ -712,7 +794,7 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   InlineVec<Addr, 16> phys;
   for (const auto& r : reqs) {
     const Addr p = physical_of(r.addr);
-    TW_ASSERT(map_.flat_bank(p) == bank);
+    TW_ASSERT(eff_bank(p) == bank);
     phys.push_back(p);
     (void)store_.line(p);
     datas.push_back(r.data);
@@ -720,12 +802,17 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   for (const Addr p : phys) lines.push_back(&store_.line(p));
 
   trace::ScopedContext tctx(now, bank_track(bank));
+  const double bscale = begin_plan_scope(now);
   const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
       {lines.data(), lines.size()}, {datas.data(), datas.size()});
   TW_ASSERT(batch.per_line.size() == reqs.size());
 
+  // Fault pricing extends the whole batch's bank occupancy: the retry
+  // sub-requests of every member line run on the shared charge pump.
+  Tick fault_extra = 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const schemes::ServicePlan& plan = batch.per_line[i];
+    note_stuck_remap(phys[i]);
     c_writes_.inc();
     c_batched_.inc();
     if (plan.silent) c_silent_.inc();
@@ -739,8 +826,8 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
       energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
     }
     wear_.record(phys[i], plan.programmed);
+    fault_extra += apply_line_faults(phys[i], plan);
     a_write_units_.add(plan.write_units);
-    a_write_service_.add(to_ns(batch.latency));
     if (plan.power_util > 0.0) a_power_util_.add(plan.power_util);
     note_row_activate(bank, phys[i]);
 
@@ -752,6 +839,11 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
       }
     }
   }
+  end_plan_scope(bscale);
+  const Tick batch_service = batch.latency + fault_extra;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    a_write_service_.add(to_ns(batch_service));
+  }
 
   Tick start = std::max(now, banks_[bank].free_at());
   // Distinct subarrays touched by the batch, as a bank-local bitmap
@@ -762,22 +854,22 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   sub_mask.resize((spb + 63) / 64, 0);
   const std::span<u64> mask{sub_mask.data(), sub_mask.size()};
   for (const Addr p : phys) {
-    const u32 local = map_.flat_subarray(p) - sub_base;
+    const u32 local = eff_sub(p) - sub_base;
     if (!bitmap_test(mask, local)) {
       bitmap_set(mask, local);
       start = std::max(start, subarrays_[sub_base + local].free_at());
     }
   }
-  banks_[bank].occupy(start, batch.latency);
+  banks_[bank].occupy(start, batch_service);
   bitmap_for_each(mask, [&](u32 local) {
-    subarrays_[sub_base + local].occupy(start, batch.latency);
+    subarrays_[sub_base + local].occupy(start, batch_service);
   });
   ++inflight_;
   if (trace::on<kCat>()) {
     trace::emit_span(kCat, trace::Op::kBatchService, bank_track(bank), start,
-                     batch.latency, reqs.size());
+                     batch_service, reqs.size());
   }
-  const Tick done_in = start + batch.latency - now;
+  const Tick done_in = start + batch_service - now;
   sim_.schedule_in(
       done_in,
       [this, reqs = std::move(reqs)]() mutable {
@@ -801,23 +893,26 @@ void Controller::apply_gap_move(u64 region, const GapMove& move) {
 
   const pcm::LogicalLine content = store_.read_logical(src);
   pcm::LineBuf& dst_line = store_.line(dst);
+  const double bscale = begin_plan_scope(sim_.now());
   const schemes::ServicePlan plan = scheme_.plan_write(dst_line, content);
   energy_.add_write(plan.programmed);
   wear_.record(dst, plan.programmed);
+  const Tick gap_service = plan.latency + apply_line_faults(dst, plan);
+  end_plan_scope(bscale);
   c_gap_moves_.inc();
 
-  const u32 bank = map_.flat_bank(dst);
+  const u32 bank = eff_bank(dst);
   if (trace::on<kCat>()) {
     trace::emit_instant(kCat, trace::Op::kGapMove, bank_track(bank),
-                        sim_.now(), region, plan.latency);
+                        sim_.now(), region, gap_service);
   }
-  const u32 subarray = map_.flat_subarray(dst);
+  const u32 subarray = eff_sub(dst);
   note_row_activate(bank, dst);
   const Tick start = std::max({sim_.now(), banks_[bank].free_at(),
                                subarrays_[subarray].free_at()});
-  banks_[bank].occupy(start, plan.latency);
-  subarrays_[subarray].occupy(start, plan.latency);
-  const Tick done_in = start + plan.latency - sim_.now();
+  banks_[bank].occupy(start, gap_service);
+  subarrays_[subarray].occupy(start, gap_service);
+  const Tick done_in = start + gap_service - sim_.now();
   sim_.schedule_in(done_in, [this] { schedule_dispatch(); },
                    sim::Priority::kDeviceComplete);
 }

@@ -46,6 +46,7 @@
 #include "tw/common/inline_vec.hpp"
 #include "tw/common/intrusive_list.hpp"
 #include "tw/common/types.hpp"
+#include "tw/fault/fault_model.hpp"
 #include "tw/mem/address_map.hpp"
 #include "tw/mem/data_store.hpp"
 #include "tw/mem/request.hpp"
@@ -121,10 +122,16 @@ class Controller {
 
   /// The scheme is shared (not owned); it must outlive the controller.
   /// `ones_bias` seeds the first-touch memory content distribution.
+  /// `fault`, when non-null, injects transient pulse failures (priced as
+  /// verify-and-retry sub-requests), charge-pump brown-outs (shrunken
+  /// plan budgets) and stuck-bank remapping; it must outlive the
+  /// controller. Null keeps every code path bit-identical to a fault-free
+  /// build.
   Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
              ControllerConfig cfg, schemes::WriteScheme& scheme,
              stats::Registry& registry, u64 data_seed = 1,
-             double ones_bias = 0.5);
+             double ones_bias = 0.5,
+             const fault::FaultModel* fault = nullptr);
 
   /// Try to accept a request. Returns false when the target queue is full
   /// (the caller should wait for the space callback and retry).
@@ -242,11 +249,43 @@ class Controller {
   StartGapLeveler& leveler_for(u64 region);
   void apply_gap_move(u64 region, const GapMove& move);
 
+  /// Effective (possibly stuck-bank-remapped) flat bank of a physical
+  /// address. With no stuck banks these are the raw decode — the remap
+  /// indirection is only consulted when fault_remap_ is set, which also
+  /// forces the exact (non-indexed) dispatch paths.
+  u32 eff_bank(Addr phys) const {
+    const u32 b = map_.flat_bank(phys);
+    return fault_remap_ ? fault_->remap_bank(b) : b;
+  }
+  /// Effective flat subarray: the same local subarray inside eff_bank.
+  u32 eff_sub(Addr phys) const {
+    const u32 s = map_.flat_subarray(phys);
+    if (!fault_remap_) return s;
+    const u32 b = map_.flat_bank(phys);
+    const u32 t = fault_->remap_bank(b);
+    return s + (t - b) * map_.subarrays_per_bank();
+  }
+  /// Count + trace a service redirected off a stuck bank (issue paths).
+  void note_stuck_remap(Addr phys);
+  /// Brown-out handling around a scheme plan call: shrink the scheme's
+  /// budget for writes planned inside a brown-out window. Returns the
+  /// factor applied; pass it to end_plan_scope() after the plan (and any
+  /// fault pricing that must see the same budget) completes.
+  double begin_plan_scope(Tick now);
+  void end_plan_scope(double factor);
+  /// Inject transient pulse failures into one planned line write:
+  /// verify-and-retry pricing, retry energy/wear, FailedLine surfacing.
+  /// Returns the extra service latency.
+  Tick apply_line_faults(Addr phys, const schemes::ServicePlan& plan);
+
   sim::Simulator& sim_;
   pcm::PcmConfig pcm_;
   ControllerConfig cfg_;
   schemes::WriteScheme& scheme_;
   stats::Registry& reg_;
+  const fault::FaultModel* fault_;
+  bool fault_remap_;   ///< any bank stuck: redirect traffic, exact paths
+  u64 fault_seq_ = 0;  ///< per-service ordinal feeding fault site hashes
 
   AddressMap map_;
   DataStore store_;
@@ -323,6 +362,10 @@ class Controller {
   stats::Counter& c_row_hits_;
   stats::Counter& c_row_misses_;
   stats::Counter& c_dispatches_;
+  stats::Counter& c_fault_retries_;
+  stats::Counter& c_failed_lines_;
+  stats::Counter& c_brownout_writes_;
+  stats::Counter& c_stuck_remaps_;
   stats::Accumulator& a_read_latency_;
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;

@@ -31,9 +31,17 @@ ProgramResult PcmArray::program(u64 bit, bool value) {
   if (endurance_ != 0 && pulses_[bit] >= endurance_) {
     return ProgramResult::kWornOut;
   }
+  const u64 prior = pulses_[bit];
   ++pulses_[bit];
   ++total_pulses_;
   if (endurance_ != 0 && pulses_[bit] == endurance_) ++worn_out_;
+  if (fault_hook_ != nullptr &&
+      fault_hook_->pulse_fails(bit, value, prior, fault_attempt_)) {
+    // Transient failure: the pulse was driven (wear above) but the cell
+    // kept its old value; the executor's verify-and-retry path re-drives.
+    ++failed_pulses_;
+    return ProgramResult::kFailed;
+  }
   const bool same = value_[bit] == value;
   value_[bit] = value;
   return same ? ProgramResult::kRedundant : ProgramResult::kOk;

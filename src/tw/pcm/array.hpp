@@ -19,6 +19,22 @@ enum class ProgramResult : u8 {
   kOk,          ///< cell updated
   kRedundant,   ///< cell already held the value (pulse still wears it)
   kWornOut,     ///< endurance exceeded; cell is stuck
+  kFailed,      ///< transient pulse failure (fault hook); value unchanged
+};
+
+/// Decides whether a program pulse transiently fails to change its cell
+/// (the cell keeps its old value; wear still accrues — the pulse was
+/// driven). Installed on a PcmArray by the fault-injection subsystem
+/// (tw/fault/FaultModel implements this); decisions must be pure
+/// functions of their arguments so replays stay deterministic.
+class CellFaultHook {
+ public:
+  virtual ~CellFaultHook() = default;
+  /// `bit` = absolute cell index, `value` = target (true = SET),
+  /// `pulse` = the cell's pulse count before this pulse, `attempt` = the
+  /// retry ordinal the executor is currently driving (0 = first write).
+  virtual bool pulse_fails(u64 bit, bool value, u64 pulse,
+                           u32 attempt) const = 0;
 };
 
 /// Dense array of SLC PCM cells with endurance accounting.
@@ -38,8 +54,19 @@ class PcmArray {
 
   /// Apply one program pulse writing `value` to the cell. Wear increments
   /// whether or not the value changes (a pulse is a pulse). Worn-out cells
-  /// retain their last value.
+  /// retain their last value, as do cells whose pulse the installed fault
+  /// hook fails (ProgramResult::kFailed).
   ProgramResult program(u64 bit, bool value);
+
+  /// Install (or clear) the transient-fault hook consulted on every
+  /// program pulse. The hook must outlive the array or be cleared first.
+  void set_fault_hook(const CellFaultHook* hook) { fault_hook_ = hook; }
+  /// Retry ordinal forwarded to the hook (0 = first drive of a write;
+  /// the executor bumps it per verify-and-retry pass).
+  void set_fault_attempt(u32 attempt) { fault_attempt_ = attempt; }
+
+  /// Pulses the fault hook failed (diagnostics).
+  u64 failed_pulses() const { return failed_pulses_; }
 
   /// Program only the bits of `value` that differ from array content
   /// (data-comparison write), LSB-first over `count` bits.
@@ -63,6 +90,9 @@ class PcmArray {
   u64 endurance_;
   u64 worn_out_ = 0;
   u64 total_pulses_ = 0;
+  u64 failed_pulses_ = 0;
+  const CellFaultHook* fault_hook_ = nullptr;
+  u32 fault_attempt_ = 0;
 };
 
 }  // namespace tw::pcm

@@ -61,6 +61,13 @@ class WearTracker {
     w.bits_programmed += t.total();
   }
 
+  /// Record extra pulses that did not constitute a new line write —
+  /// fault-injection retry re-drives. Wear accrues (the pulses were
+  /// driven) but the service count, and with it bits-per-write, does not.
+  void record_retry(Addr line_addr, const BitTransitions& t) {
+    wear_[line_addr].bits_programmed += t.total();
+  }
+
   /// Wear state of one line (zero-initialized if untouched).
   LineWear line(Addr line_addr) const {
     const auto it = wear_.find(line_addr);

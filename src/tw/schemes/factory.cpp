@@ -19,6 +19,28 @@ BatchServicePlan WriteScheme::plan_write_batch(
   return batch;
 }
 
+Tick WriteScheme::plan_retry(const BitTransitions& failed, u32 attempt,
+                             double widen) const {
+  TW_EXPECTS(attempt >= 1);
+  TW_EXPECTS(widen >= 1.0);
+  if (failed.total() == 0) return 0;
+  // Worst-case serial pricing over just the failed bits: SETs at budget
+  // concurrency, RESETs at budget/L concurrency (same closed form the
+  // non-packed schemes use for full lines).
+  const u32 budget = effective_budget();
+  const u64 set_passes = ceil_div(failed.sets, budget);
+  const u64 reset_passes =
+      ceil_div(static_cast<u64>(failed.resets) * cfg_.l(), budget);
+  const Tick base =
+      set_passes * cfg_.timing.t_set + reset_passes * cfg_.timing.t_reset;
+  // Exponential pulse widening: attempt a re-drives at widen^a. Repeated
+  // multiplication (not std::pow) keeps the result bit-identical across
+  // compilers/libms.
+  double factor = 1.0;
+  for (u32 i = 0; i < attempt; ++i) factor *= widen;
+  return static_cast<Tick>(static_cast<double>(base) * factor);
+}
+
 std::string_view scheme_name(SchemeKind kind) {
   switch (kind) {
     case SchemeKind::kConventional:

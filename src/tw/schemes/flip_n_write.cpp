@@ -27,7 +27,7 @@ ServicePlan FlipNWrite::plan_write(pcm::LineBuf& line,
       if (p.tag_changed) d += p.tag_to_one ? 1 : cfg_.l();
       demand.push_back(d);
     }
-    units = ffd_bin_count_inplace(demand, cfg_.bank_power_budget());
+    units = ffd_bin_count_inplace(demand, effective_budget());
   } else {
     // Worst-case guarantee: two units per write unit.
     units = static_cast<double>(ceil_div(g.units_per_line(), 2));

@@ -11,7 +11,7 @@ ServicePlan PresetWrite::plan_write(pcm::LineBuf& line,
   const auto& g = cfg_.geometry;
   const u32 bits = g.data_unit_bits;
   const u32 units = g.units_per_line();
-  const u32 budget = cfg_.bank_power_budget();
+  const u32 budget = effective_budget();
   const u32 l = cfg_.l();
   const u64 mask = low_mask(bits);
 

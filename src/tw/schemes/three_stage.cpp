@@ -12,7 +12,7 @@ ServicePlan ThreeStageWrite::plan_write(pcm::LineBuf& line,
   const auto& g = cfg_.geometry;
   const u32 bits = g.data_unit_bits;
   const u32 units = g.units_per_line();
-  const u32 budget = cfg_.bank_power_budget();
+  const u32 budget = effective_budget();
   const u32 l = cfg_.l();
   const auto plans = plan_line(line, next, FlipCriterion::kHamming, bits);
 

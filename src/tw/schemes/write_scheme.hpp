@@ -124,6 +124,37 @@ class WriteScheme {
       std::span<pcm::LineBuf*> lines,
       std::span<const pcm::LogicalLine> datas) const;
 
+  /// Price one verify-and-retry attempt re-driving `failed` bits, with
+  /// pulse widths widened by `widen`^`attempt` (attempt >= 1). The default
+  /// re-runs the worst-case concurrency closed form over just the failed
+  /// bits; Tetris overrides it to re-enter the packer. Does not mutate
+  /// line state — failed cells keep their target values pending, only the
+  /// extra occupancy is priced.
+  virtual Tick plan_retry(const BitTransitions& failed, u32 attempt,
+                          double widen) const;
+
+  /// Scale factor applied to the bank power budget by effective_budget()
+  /// — the charge-pump brown-out hook. 1.0 (the default) must reproduce
+  /// bank_power_budget() exactly; the controller sets a smaller factor
+  /// around plan calls issued inside a brown-out window and restores 1.0
+  /// after.
+  void set_budget_scale(double scale) {
+    TW_EXPECTS(scale > 0.0 && scale <= 1.0);
+    budget_scale_ = scale;
+  }
+  double budget_scale() const { return budget_scale_; }
+
+  /// The power budget every scheme packs/serializes against, after the
+  /// brown-out scale. At least 1 SET-equivalent so progress is always
+  /// possible.
+  u32 effective_budget() const {
+    const u32 nominal = cfg_.bank_power_budget();
+    if (budget_scale_ == 1.0) return nominal;
+    const u32 scaled =
+        static_cast<u32>(static_cast<double>(nominal) * budget_scale_);
+    return scaled < 1 ? 1u : scaled;
+  }
+
   /// Latency of a demand read through this scheme's datapath. Every
   /// scheme leaves the read path untouched (the paper stresses Tetris
   /// adds no read-path logic).
@@ -133,6 +164,9 @@ class WriteScheme {
 
  protected:
   pcm::PcmConfig cfg_;
+
+ private:
+  double budget_scale_ = 1.0;
 };
 
 /// Canonical short name for a kind. (The factory constructing instances

@@ -24,8 +24,9 @@ enum class Category : u8 {
   kPacker = 3,      ///< analysis stage: packing decisions, interspace steals
   kCache = 4,       ///< cache hierarchy: misses, writebacks
   kMetrics = 5,     ///< periodic metrics snapshots (counter tracks)
+  kFault = 6,       ///< fault injection: retries, failed lines, brown-outs
 };
-inline constexpr u32 kCategoryCount = 6;
+inline constexpr u32 kCategoryCount = 7;
 
 constexpr u32 category_bit(Category c) { return 1u << static_cast<u32>(c); }
 
@@ -84,6 +85,14 @@ enum class Op : u16 {
   kCacheWriteback = 65,  ///< dirty line cascaded out to PCM
   // kMetrics
   kGauge = 80,  ///< one sampled gauge value (counter kind)
+  // kFault
+  kFaultRetry = 96,     ///< verify-and-retry ladder ran (arg0 = attempts,
+                        ///< arg1 = extra service ticks)
+  kLineFailed = 97,     ///< retries exhausted; line surfaced as FailedLine
+  kBrownoutWrite = 98,  ///< write planned inside a brown-out window
+                        ///< (arg0 = scaled budget, arg1 = nominal budget)
+  kStuckRemap = 99,     ///< service redirected off a stuck bank
+                        ///< (arg0 = stuck bank, arg1 = healthy target)
 };
 
 /// Visualization track domains (Chrome pid); the low 24 bits of a track id
@@ -99,8 +108,9 @@ enum class Track : u8 {
   kPacker = 7,
   kCache = 8,
   kMetrics = 9,
+  kFault = 10,
 };
-inline constexpr u32 kTrackDomains = 10;
+inline constexpr u32 kTrackDomains = 11;
 
 constexpr u32 track_id(Track domain, u32 index) {
   return (static_cast<u32>(domain) << 24) | (index & 0x00FFFFFFu);

@@ -41,6 +41,10 @@ const char* op_name(Op op) {
     case Op::kCacheMiss: return "cache_miss";
     case Op::kCacheWriteback: return "cache_writeback";
     case Op::kGauge: return "gauge";
+    case Op::kFaultRetry: return "fault_retry";
+    case Op::kLineFailed: return "line_failed";
+    case Op::kBrownoutWrite: return "brownout_write";
+    case Op::kStuckRemap: return "stuck_remap";
   }
   return "unknown";
 }
@@ -53,6 +57,7 @@ const char* category_name(Category c) {
     case Category::kPacker: return "packer";
     case Category::kCache: return "cache";
     case Category::kMetrics: return "metrics";
+    case Category::kFault: return "fault";
   }
   return "unknown";
 }
@@ -69,6 +74,7 @@ const char* track_domain_name(Track t) {
     case Track::kPacker: return "packer";
     case Track::kCache: return "cache";
     case Track::kMetrics: return "metrics";
+    case Track::kFault: return "fault";
   }
   return "unknown";
 }

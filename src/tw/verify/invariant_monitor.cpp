@@ -28,9 +28,15 @@ void InvariantMonitor::fail(const std::string& what) const {
 void InvariantMonitor::check_schedule(
     std::span<const core::UnitCounts> counts,
     const core::PackResult& pack) {
-  const u32 k = cfg_.k;
-  const u32 l = cfg_.l;
-  const u32 budget = cfg_.budget;
+  check_schedule(counts, pack, cfg_);
+}
+
+void InvariantMonitor::check_schedule(
+    std::span<const core::UnitCounts> counts, const core::PackResult& pack,
+    const core::PackerConfig& cfg) {
+  const u32 k = cfg.k;
+  const u32 l = cfg.l;
+  const u32 budget = cfg.budget;
   const u64 slots = u64{pack.result} * k + pack.subresult;
 
   std::unordered_map<u32, core::UnitCounts> by_unit;
@@ -88,7 +94,7 @@ void InvariantMonitor::check_schedule(
         fail(slot_str("write-0 in sub-slot", s) + " outside the schedule");
       }
       power[s] += draw;
-      if (cfg_.forbid_self_overlap && s < u64{pack.result} * k) {
+      if (cfg.forbid_self_overlap && s < u64{pack.result} * k) {
         for (const auto& w1 : pack.write1_queue) {
           if (w1.unit == w.unit && s / k >= w1.write_unit &&
               s / k < u64{w1.write_unit} + w1.passes) {
@@ -236,7 +242,7 @@ void InvariantMonitor::on_pulse(u64 bit, core::WritePass pass,
     fail("cell " + std::to_string(bit) +
          " driven by both the SET and RESET FSMs in one write");
   }
-  if ((cell & flag) != 0) {
+  if ((cell & flag) != 0 && !allow_repulse_) {
     fail("cell " + std::to_string(bit) +
          " driven twice by the same FSM pass in one write");
   }

@@ -55,6 +55,22 @@ class InvariantMonitor final : public core::PulseObserver {
   void check_schedule(std::span<const core::UnitCounts> counts,
                       const core::PackResult& pack);
 
+  /// Same check against an explicit packer config — the budget a schedule
+  /// must honor is the one it was planned under, which during a
+  /// charge-pump brown-out window is smaller than the monitor's nominal
+  /// config (fault-injection tests verify budget-legality *through*
+  /// brown-outs with this overload).
+  void check_schedule(std::span<const core::UnitCounts> counts,
+                      const core::PackResult& pack,
+                      const core::PackerConfig& cfg);
+
+  /// Relax the "same cell driven twice by one FSM pass" failure: the
+  /// fault-injection verify-and-retry ladder legitimately re-drives a
+  /// failed cell with the *same* pass. Cross-pass exclusivity (SET and
+  /// RESET on one cell) stays a hard failure — that invariant must hold
+  /// through retries too.
+  void allow_same_pass_repulse(bool allow) { allow_repulse_ = allow; }
+
   /// Check an executed FSM trace for pulse alignment, interspace
   /// containment and instantaneous power.
   void check_trace(const core::FsmTrace& trace,
@@ -81,6 +97,7 @@ class InvariantMonitor final : public core::PulseObserver {
   std::unordered_map<u64, u8> driven_;  ///< cell -> pass flags, one write
   Tick last_sim_tick_ = 0;
   bool sim_seen_ = false;
+  bool allow_repulse_ = false;
 };
 
 }  // namespace tw::verify

@@ -288,6 +288,100 @@ TEST(SchedDiff, PausingPlusLevelingOpportunistic) {
   run_scenario(sc);
 }
 
+TEST(SchedDiff, PauseDrainInteractionFamily) {
+  // The pause machinery interacts with the drain-mode state machine: a
+  // paused write holds its bank while the queue level crosses the
+  // drain/low-watermark thresholds, and the two controllers must agree on
+  // which request wins the bank after every pause-resume. Sweep both
+  // drain policies against short and long pause quanta and both watermark
+  // settings; concentrated traffic forces genuine pause conflicts.
+  for (const auto drain : {ControllerConfig::DrainPolicy::kStrict,
+                           ControllerConfig::DrainPolicy::kOpportunistic}) {
+    for (const u32 watermark : {0u, 4u}) {
+      for (const Tick quantum : {ns(20), ns(200)}) {
+        Scenario sc;
+        sc.name = std::string("pause-drain-") +
+                  (drain == ControllerConfig::DrainPolicy::kStrict
+                       ? "strict"
+                       : "opportunistic") +
+                  "-wm" + std::to_string(watermark) + "-q" +
+                  std::to_string(quantum);
+        sc.cfg.drain = drain;
+        sc.cfg.drain_low_watermark = watermark;
+        sc.cfg.write_pausing = true;
+        sc.cfg.pause_quantum = quantum;
+        sc.shape.requests = 1200;
+        sc.shape.write_frac = 0.6;
+        sc.shape.num_lines = 64;
+        sc.shape.max_gap = ns(60);  // oversubscribed: drains happen
+        run_scenario(sc);
+      }
+    }
+  }
+
+  // The family must actually pause under both drain policies.
+  pcm::PcmConfig pcm_cfg = pcm::table2_config();
+  for (const auto drain : {ControllerConfig::DrainPolicy::kStrict,
+                           ControllerConfig::DrainPolicy::kOpportunistic}) {
+    ControllerConfig ccfg;
+    ccfg.drain = drain;
+    ccfg.drain_low_watermark = 4;
+    ccfg.write_pausing = true;
+    ccfg.pause_quantum = ns(20);
+    StreamShape shape;
+    shape.requests = 1200;
+    shape.write_frac = 0.6;
+    shape.num_lines = 64;
+    shape.max_gap = ns(60);
+    const auto stream = make_stream(0xC0FFEE, shape);
+    const auto obs =
+        run_one<Controller>(pcm_cfg, ccfg, schemes::SchemeKind::kDcw, stream);
+    EXPECT_GT(obs.pauses, 0u);
+  }
+}
+
+TEST(SchedDiff, PausedWritesUnderBackpressure) {
+  // Pausing while the queues are saturated: resumed writes compete with a
+  // full write queue and rejected arrivals, so the pause bookkeeping must
+  // not leak queue slots in either controller.
+  Scenario sc;
+  sc.name = "pause-tiny-queues";
+  sc.cfg.write_pausing = true;
+  sc.cfg.pause_quantum = ns(50);
+  sc.cfg.read_queue_entries = 8;
+  sc.cfg.write_queue_entries = 8;
+  sc.cfg.drain_low_watermark = 2;
+  sc.shape.requests = 1500;
+  sc.shape.write_frac = 0.6;
+  sc.shape.num_lines = 64;
+  sc.shape.max_gap = ns(40);
+  run_scenario(sc);
+
+  pcm::PcmConfig pcm_cfg = pcm::table2_config();
+  const auto stream = make_stream(0xC0FFEE, sc.shape);
+  const auto obs = run_one<Controller>(pcm_cfg, sc.cfg, sc.kind, stream);
+  EXPECT_GT(obs.pauses, 0u);
+  EXPECT_GT(obs.rejects, 0u);
+}
+
+TEST(SchedDiff, PausingBatchedTetrisOpportunistic) {
+  // Batched writes + pausing + opportunistic drain: a paused batch holds
+  // several lines' worth of service, the strongest stress on the bank
+  // epoch bookkeeping shared by the pause and drain paths.
+  Scenario sc;
+  sc.name = "pause-batch4-tetris-opportunistic";
+  sc.cfg.drain = ControllerConfig::DrainPolicy::kOpportunistic;
+  sc.cfg.write_pausing = true;
+  sc.cfg.pause_quantum = ns(50);
+  sc.cfg.write_batch = 4;
+  sc.kind = schemes::SchemeKind::kTetris;
+  sc.subarrays_per_bank = 4;
+  sc.shape.requests = 1500;
+  sc.shape.write_frac = 0.7;
+  sc.shape.num_lines = 64;
+  run_scenario(sc);
+}
+
 TEST(SchedDiff, NoCoalescingNoForwardingThreeStage) {
   Scenario sc;
   sc.name = "raw-threestage";
