@@ -1,0 +1,68 @@
+// Ablation: multi-line Tetris batch scheduling (scheme x K matrix).
+//
+// Sweeps batch.max_lines over every paper scheme on write-heavy profiles.
+// Only Tetris packs the K gathered lines into one joint power-budget
+// schedule (BatchPacker); the other schemes serialize their batches, so
+// their rows double as a control — any K-dependence there comes purely
+// from the controller's gather, not from packing. The Tetris rows show
+// the write-latency / IPC gain of joint packing plus the batch-occupancy
+// metrics (mean lines per issue, mean budget utilization of the joint
+// schedules).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "tw/common/csv.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Ablation: multi-line batch packing (scheme x K)\n"
+            << "===============================================\n";
+
+  const auto kinds = bench::paper_columns();
+  std::vector<std::vector<std::string>> csv;
+  AsciiTable t;
+  t.set_header({"workload", "scheme", "K", "write lat (us)", "IPC",
+                "write units", "batched", "lines/issue", "occupancy"});
+  for (const char* name : {"dedup", "vips"}) {
+    const auto& profile = workload::profile_by_name(name);
+    for (const auto kind : kinds) {
+      for (const u32 k : {1u, 2u, 4u, 8u}) {
+        harness::SystemConfig cfg = bench::system_config(profile, o);
+        cfg.batch.max_lines = k;
+        const harness::RunMetrics m = harness::run_system(cfg, profile, kind);
+        t.add_row({profile.name, m.scheme, std::to_string(k),
+                   fixed(m.write_latency_ns / 1000.0, 1), fixed(m.ipc, 3),
+                   fixed(m.write_units, 3), std::to_string(m.writes_batched),
+                   fixed(m.batch_lines, 2), fixed(m.batch_occupancy, 3)});
+        csv.push_back({profile.name, m.scheme, std::to_string(k),
+                       fixed(m.write_latency_ns, 1), fixed(m.ipc, 4),
+                       fixed(m.write_units, 4),
+                       std::to_string(m.writes_batched),
+                       fixed(m.batch_lines, 3),
+                       fixed(m.batch_occupancy, 4)});
+      }
+      t.add_separator();
+    }
+  }
+  t.print(std::cout);
+  if (!o.csv_path.empty()) {
+    std::ofstream out(o.csv_path);
+    CsvWriter writer(out);
+    writer.header({"workload", "scheme", "max_lines", "write_latency_ns",
+                   "ipc", "write_units", "writes_batched", "batch_lines",
+                   "batch_occupancy"});
+    for (const auto& row : csv) writer.row(row);
+  }
+
+  std::cout << "\nTakeaway: K > 1 lets Tetris amortize write units across "
+               "queued lines\n(occupancy rises, write units per line fall); "
+               "serializing schemes are flat\nmodulo the controller's "
+               "batched-issue bookkeeping.\n";
+  return 0;
+}

@@ -34,6 +34,7 @@ struct Options {
   std::string trace_metrics_path;  ///< optional metrics-snapshot CSV
   u32 trace_categories = trace::kAllCategories;
   fault::FaultProfile fault_profile = fault::FaultProfile::kNone;
+  u32 batch_lines = 0;  ///< batch.max_lines override (0 = leave default)
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -62,6 +63,9 @@ struct Options {
         o.trace_path = value("--trace=");
       } else if (starts_with(arg, "--trace-metrics=")) {
         o.trace_metrics_path = value("--trace-metrics=");
+      } else if (starts_with(arg, "--batch-lines=")) {
+        o.batch_lines = static_cast<u32>(
+            std::strtoul(value("--batch-lines="), nullptr, 10));
       } else if (starts_with(arg, "--trace-categories=")) {
         o.trace_categories =
             trace::parse_categories(value("--trace-categories="));
@@ -145,6 +149,7 @@ inline harness::SystemConfig system_config(
   cfg.instructions_per_core = instructions_for(p, o);
   cfg.seed = o.seed;
   cfg.fault = fault::profile_config(o.fault_profile);
+  cfg.batch.max_lines = o.batch_lines;
   return cfg;
 }
 

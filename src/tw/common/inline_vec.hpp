@@ -119,6 +119,15 @@ class InlineVec {
     size_ = n;
   }
 
+  /// Resize without writing new elements. For hot paths that overwrite
+  /// the whole [old_size, n) range immediately via data(); callers own
+  /// the obligation to do so (T is trivially copyable by class contract,
+  /// so skipping the fill is well-defined). Shrinking never touches data.
+  void resize_uninitialized(std::size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+
   /// Replace the contents with n copies of v.
   void assign(std::size_t n, const T& v) {
     clear();

@@ -1,0 +1,108 @@
+#include "tw/core/batch_packer.hpp"
+
+#include <algorithm>
+
+#include "tw/common/assert.hpp"
+#include "tw/trace/emit.hpp"
+
+namespace tw::core {
+namespace {
+
+/// Per-chip transition demand of one unit write: bits [c*w, (c+1)*w) of
+/// the unit live on chip c. Returns the worst chip's SET and RESET counts.
+struct ChipWorst {
+  u32 sets = 0;
+  u32 resets = 0;
+};
+
+ChipWorst worst_chip_demand(u64 old_cells, u64 new_cells, u32 unit_bits,
+                            u32 chips) {
+  ChipWorst w;
+  const u32 per_chip = unit_bits / chips;
+  const u64 diff = (old_cells ^ new_cells) & low_mask(unit_bits);
+  for (u32 c = 0; c < chips; ++c) {
+    const u64 mask = low_mask(per_chip) << (c * per_chip);
+    const u32 s = popcount(diff & new_cells & mask);
+    const u32 r = popcount(diff & old_cells & mask);
+    w.sets = std::max(w.sets, s);
+    w.resets = std::max(w.resets, r);
+  }
+  return w;
+}
+
+}  // namespace
+
+CountsVec BatchPacker::line_counts(const pcm::LineBuf& line,
+                                   const ReadStageResult& read,
+                                   u32 unit_base) const {
+  CountsVec counts = read.counts;
+  const bool per_chip =
+      opts_.respect_gcp_setting && !cfg_.power.global_charge_pump &&
+      cfg_.geometry.chips_per_bank > 1 &&
+      cfg_.geometry.data_unit_bits % cfg_.geometry.chips_per_bank == 0;
+  if (per_chip) {
+    for (u32 i = 0; i < counts.size(); ++i) {
+      // Per-chip budgets bind: charge each unit chips x its worst chip's
+      // demand so that no chip can exceed its local share of the budget.
+      const auto& p = read.plans[i];
+      const ChipWorst w =
+          worst_chip_demand(line.cell(i), p.new_cells,
+                            cfg_.geometry.data_unit_bits,
+                            cfg_.geometry.chips_per_bank);
+      // A tag-only transition keeps a nonzero demand of 1.
+      if (counts[i].n1 > 0) {
+        counts[i].n1 =
+            std::max(w.sets * cfg_.geometry.chips_per_bank, 1u);
+      }
+      if (counts[i].n0 > 0) {
+        counts[i].n0 =
+            std::max(w.resets * cfg_.geometry.chips_per_bank, 1u);
+      }
+    }
+  }
+  UnitCounts* c = counts.data();  // hot path: unchecked renumbering
+  for (std::size_t i = 0, n = counts.size(); i < n; ++i) {
+    c[i].unit += unit_base;
+  }
+  return counts;
+}
+
+BatchPackOutcome BatchPacker::pack_lines(
+    std::span<pcm::LineBuf* const> lines,
+    std::span<const pcm::LogicalLine> datas,
+    const PackerConfig& pcfg) const {
+  TW_EXPECTS(lines.size() == datas.size());
+  TW_EXPECTS(!lines.empty());
+  const u32 units = cfg_.geometry.units_per_line();
+
+  BatchPackOutcome out;
+  out.lines = static_cast<u32>(lines.size());
+  out.reads.reserve(lines.size());
+  out.counts.reserve(lines.size() * units);
+  // Read stage per line in the controller's age order; counts are
+  // concatenated with per-line unit offsets (line i's unit u becomes
+  // global unit i*units + u in the joint schedule).
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out.reads.push_back(
+        read_stage(*lines[i], datas[i], cfg_.geometry.data_unit_bits));
+    const CountsVec counts = line_counts(*lines[i], out.reads.back(),
+                                         static_cast<u32>(i) * units);
+    out.counts.insert(out.counts.end(), counts.begin(), counts.end());
+  }
+
+  // One joint packing over every unit of every line.
+  out.pack = pack(out.counts, pcfg);
+  if (opts_.self_check) verify_pack(out.counts, pcfg, out.pack);
+
+  if (trace::on<trace::Category::kPacker>()) {
+    const u32 ptrack = trace::track_id(
+        trace::Track::kPacker, trace::track_index(trace::g_tls.track));
+    trace::emit_instant(
+        trace::Category::kPacker, trace::Op::kBatchPack, ptrack,
+        trace::g_tls.base, out.lines,
+        static_cast<u32>(out.occupancy(pcfg.budget) * 1000.0));
+  }
+  return out;
+}
+
+}  // namespace tw::core

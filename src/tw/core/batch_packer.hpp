@@ -1,0 +1,70 @@
+#pragma once
+// BatchPacker: the multi-line Tetris analysis stage. Takes the
+// controller's bank-indexed write batch (up to K same-bank lines, age
+// ordered) as the candidate set and packs the write units of *all* lines
+// into one power-budget schedule — the joint packing generalizes paper
+// Alg. 2 from one cache line to the whole batch, composing with
+// partition-level overlap in the spirit of PALP. Ordering rules: the
+// input span is the controller's age order and is never permuted here;
+// only the power-slot placement of unit demands is reordered (FFD), so
+// age-ordering and drain-cutoff decisions stay entirely with the
+// controller.
+
+#include <span>
+#include <vector>
+
+#include "tw/core/packer.hpp"
+#include "tw/core/read_stage.hpp"
+#include "tw/pcm/line.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::core {
+
+/// Knobs the batch stage needs from the enclosing scheme.
+struct BatchPackerOptions {
+  /// Without a global charge pump, charge each unit chips x its worst
+  /// chip's demand so no chip exceeds its local budget share.
+  bool respect_gcp_setting = true;
+  /// Re-verify every joint schedule with verify_pack (TW_VERIFY / tests).
+  bool self_check = false;
+};
+
+/// The joint read + packing result for one batch of same-bank lines.
+struct BatchPackOutcome {
+  std::vector<ReadStageResult> reads;  ///< per line, input (age) order
+  std::vector<UnitCounts> counts;      ///< concatenated, unit ids offset
+  PackResult pack;                     ///< one schedule over all lines
+  u32 lines = 0;
+
+  /// Budget utilization of the packed schedule (batch occupancy).
+  double occupancy(u32 budget) const {
+    return pack.power_utilization(budget);
+  }
+};
+
+/// Stateless packing stage; cheap to construct per call (holds a config
+/// reference only). One instance must not outlive its PcmConfig.
+class BatchPacker {
+ public:
+  BatchPacker(const pcm::PcmConfig& cfg, BatchPackerOptions opts)
+      : cfg_(cfg), opts_(opts) {}
+
+  /// Per-line packing counts: the read-stage counts with the per-chip
+  /// worst-case scaling applied (when the config has no global charge
+  /// pump) and unit ids offset by `unit_base` for concatenation.
+  CountsVec line_counts(const pcm::LineBuf& line, const ReadStageResult& read,
+                        u32 unit_base) const;
+
+  /// Run the read stage over every line and pack all unit demands into
+  /// one schedule under `pcfg`. Emits a kBatchPack trace instant (lines,
+  /// occupancy in per-mille) when packer tracing is live.
+  BatchPackOutcome pack_lines(std::span<pcm::LineBuf* const> lines,
+                              std::span<const pcm::LogicalLine> datas,
+                              const PackerConfig& pcfg) const;
+
+ private:
+  const pcm::PcmConfig& cfg_;
+  BatchPackerOptions opts_;
+};
+
+}  // namespace tw::core

@@ -1,50 +1,145 @@
 #include "tw/core/packer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <utility>
 #include <vector>
 
 #include "tw/common/assert.hpp"
+#include "tw/common/simd.hpp"
 #include "tw/trace/emit.hpp"
 
 namespace tw::core {
 namespace {
 
-/// Sort order for both phases: decreasing current demand, index ascending
-/// for determinism.
-struct Item {
-  u32 unit;
-  u32 current;
+/// Items of one packing phase in structure-of-arrays layout: `current[i]`
+/// is the demand of data unit `unit[i]`. Keeping the demands contiguous
+/// lets the SIMD first-fit kernel scan them without gather steps, and the
+/// multi-line batch path (hundreds of units) spills both arrays to one
+/// heap block each instead of an array of structs.
+struct ItemsSoA {
+  InlineVec<u32, pcm::kMaxUnitsPerLine> unit;
+  InlineVec<u32, pcm::kMaxUnitsPerLine> current;
+
+  std::size_t size() const { return unit.size(); }
 };
 
-using ItemVec = InlineVec<Item, pcm::kMaxUnitsPerLine>;
+/// Counting sort applies while every demand is at most this (covers every
+/// real geometry: demand <= (bits + 1) * l = 130 for Table II; only
+/// extreme l ablations exceed it and fall back to insertion sort).
+constexpr u32 kCountingSortMaxDemand = 1024;
+/// Below this many items the quadratic insertion sort's constant wins.
+constexpr std::size_t kInsertionSortMax = 16;
 
-ItemVec sorted_items(std::span<const UnitCounts> counts, bool write1_phase,
-                     const PackerConfig& cfg) {
-  ItemVec items;
+/// Sort order for both phases: decreasing current demand, index ascending
+/// for determinism. Raw-pointer loops over pre-sized arrays: this and the
+/// placement loops below are the per-write hot path, so they use
+/// unchecked access throughout (the contract-checked InlineVec accessors
+/// cost a compare+branch per element).
+///
+/// Two sort strategies produce the *identical* order (so the choice can
+/// never affect packing results): insertion sort for short sequences
+/// (single lines: at most 32 items, a handful of shifts), and a counting
+/// sort over the bounded demand values for multi-line batches — the
+/// insertion sort's O(m^2) dependent shifts dominated the whole joint
+/// pack at K x 32 items. Descending bucket offsets give decreasing
+/// demand; scanning items in input (ascending unit) order makes the
+/// placement stable, which is exactly the ascending-unit tie-break.
+ItemsSoA sorted_items(std::span<const UnitCounts> counts, bool write1_phase,
+                      const PackerConfig& cfg) {
+  ItemsSoA items;
+  items.unit.resize_uninitialized(counts.size());
+  items.current.resize_uninitialized(counts.size());
+  u32* unit = items.unit.data();
+  u32* cur = items.current.data();
   const bool ordered = cfg.order != PackOrder::kFirstFitArrival;
+  std::size_t m = 0;
+  u32 maxd = 0;
   for (const auto& c : counts) {
     const u32 demand = write1_phase ? c.n1 : c.n0 * cfg.l;
     if (demand == 0) continue;
-    const Item it{c.unit, demand};
-    if (!ordered) {
-      items.push_back(it);
-      continue;
+    unit[m] = c.unit;
+    cur[m] = demand;
+    maxd = demand > maxd ? demand : maxd;
+    ++m;
+  }
+  items.unit.resize_uninitialized(m);
+  items.current.resize_uninitialized(m);
+  if (!ordered || m < 2) return items;
+
+  if (m > kInsertionSortMax && maxd <= kCountingSortMaxDemand) {
+    u32 hist[kCountingSortMaxDemand + 1];
+    std::memset(hist, 0, (maxd + 1) * sizeof(u32));
+    for (std::size_t i = 0; i < m; ++i) ++hist[cur[i]];
+    u32 pos = 0;
+    for (u32 d = maxd; ; --d) {
+      const u32 bucket = hist[d];
+      hist[d] = pos;
+      pos += bucket;
+      if (d == 0) break;
     }
-    // Insertion sort: sequences are line-bounded (hardware sorts 8 items
-    // in a handful of cycles; here it also skips std::sort's dispatch).
-    items.push_back(it);
-    std::size_t j = items.size() - 1;
-    while (j > 0 && (items[j - 1].current < it.current ||
-                     (items[j - 1].current == it.current &&
-                      items[j - 1].unit > it.unit))) {
-      items[j] = items[j - 1];
+    ItemsSoA out;
+    out.unit.resize_uninitialized(m);
+    out.current.resize_uninitialized(m);
+    u32* ou = out.unit.data();
+    u32* oc = out.current.data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const u32 d = cur[i];
+      const u32 p = hist[d]++;
+      ou[p] = unit[i];
+      oc[p] = d;
+    }
+    return out;
+  }
+
+  for (std::size_t i = 1; i < m; ++i) {
+    const u32 u = unit[i];
+    const u32 d = cur[i];
+    std::size_t j = i;
+    while (j > 0 && (cur[j - 1] < d || (cur[j - 1] == d && unit[j - 1] > u))) {
+      unit[j] = unit[j - 1];
+      cur[j] = cur[j - 1];
       --j;
     }
-    items[j] = it;
+    unit[j] = u;
+    cur[j] = d;
   }
   return items;
+}
+
+/// First-fit over `power[0, n)` skipping the forbidden window
+/// `[forbid_lo, forbid_hi)`, charging `fit_checks` exactly like the
+/// original scalar scan did: every index up to and including the chosen
+/// slot counts (forbidden ones too), a miss charges all n. Computing the
+/// charge arithmetically from the found index keeps the statistic
+/// bit-identical across scalar and AVX2 kernels.
+u32 first_fit_target(const u32* power, u32 n, u32 limit, u32 forbid_lo,
+                     u32 forbid_hi, u64& fit_checks, simd::Level lv) {
+  u32 target = simd::first_fit(power, forbid_lo < n ? forbid_lo : n, limit,
+                               lv);
+  if (target >= forbid_lo && forbid_hi < n) {
+    target = forbid_hi + simd::first_fit(power + forbid_hi, n - forbid_hi,
+                                         limit, lv);
+  } else if (target >= forbid_lo) {
+    target = n;
+  }
+  fit_checks += target < n ? target + 1 : n;
+  return target;
+}
+
+/// Best-fit over the same domain (ablation path, scalar by design):
+/// highest-occupancy slot that still fits, first index among ties.
+u32 best_fit_target(const u32* power, u32 n, u32 limit, u32 forbid_lo,
+                    u32 forbid_hi, u64& fit_checks) {
+  u32 target = n;
+  for (u32 s = 0; s < n; ++s) {
+    ++fit_checks;
+    if (s >= forbid_lo && s < forbid_hi) continue;
+    if (power[s] > limit) continue;
+    if (target == n || power[s] > power[target]) target = s;
+  }
+  return target;
 }
 
 }  // namespace
@@ -64,40 +159,43 @@ PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
   };
   InlineVec<UnitSpan, pcm::kMaxUnitsPerLine> span_of_unit;
   span_of_unit.resize(counts.size(), UnitSpan{});
+  UnitSpan* span = span_of_unit.data();
 
+  const simd::Level lv = simd::active_level();
   const bool best_fit = cfg.order == PackOrder::kBestFitDecreasing;
-  for (const Item& it : sorted_items(counts, /*write1_phase=*/true, cfg)) {
+  const ItemsSoA items1 = sorted_items(counts, /*write1_phase=*/true, cfg);
+  const u32* it1_unit = items1.unit.data();
+  const u32* it1_cur = items1.current.data();
+  r.write1_queue.resize_uninitialized(items1.size());
+  Write1Slot* q1 = r.write1_queue.data();
+  for (std::size_t i = 0; i < items1.size(); ++i) {
     Write1Slot slot;
-    slot.unit = it.unit;
-    slot.current = it.current;
-    if (it.current > cfg.budget) {
+    slot.unit = it1_unit[i];
+    slot.current = it1_cur[i];
+    if (slot.current > cfg.budget) {
       // Over-budget item: ceil(current/budget) dedicated serial passes.
-      slot.passes = static_cast<u32>(ceil_div(it.current, cfg.budget));
+      slot.passes = static_cast<u32>(ceil_div(slot.current, cfg.budget));
       slot.write_unit = static_cast<u32>(wu_power.size());
-      const u32 remainder = it.current - (slot.passes - 1) * cfg.budget;
+      const u32 remainder = slot.current - (slot.passes - 1) * cfg.budget;
       for (u32 p = 0; p + 1 < slot.passes; ++p) wu_power.push_back(cfg.budget);
       wu_power.push_back(remainder);
     } else {
-      u32 target = static_cast<u32>(wu_power.size());
-      for (u32 w = 0; w < wu_power.size(); ++w) {
-        ++r.fit_checks;
-        if (wu_power[w] + it.current > cfg.budget) continue;
-        if (!best_fit) {
-          target = w;
-          break;
-        }
-        // Best fit: highest occupancy that still accommodates the item.
-        if (target == wu_power.size() || wu_power[w] > wu_power[target]) {
-          target = w;
-        }
-      }
-      if (target == wu_power.size()) wu_power.push_back(0);
-      wu_power[target] += it.current;
+      // A slot fits iff its occupancy <= budget - current (no overflow:
+      // current <= budget here).
+      const u32 n = static_cast<u32>(wu_power.size());
+      const u32 limit = cfg.budget - slot.current;
+      const u32 target =
+          best_fit
+              ? best_fit_target(wu_power.data(), n, limit, 0, 0, r.fit_checks)
+              : first_fit_target(wu_power.data(), n, limit, 0, 0,
+                                 r.fit_checks, lv);
+      if (target == n) wu_power.push_back(0);
+      wu_power.data()[target] += slot.current;
       slot.write_unit = target;
     }
-    TW_ASSERT(it.unit < span_of_unit.size());
-    span_of_unit[it.unit] = {slot.write_unit, slot.write_unit + slot.passes};
-    r.write1_queue.push_back(slot);
+    TW_ASSERT(slot.unit < span_of_unit.size());
+    span[slot.unit] = {slot.write_unit, slot.write_unit + slot.passes};
+    q1[i] = slot;
   }
   r.result = static_cast<u32>(wu_power.size());
 
@@ -105,48 +203,54 @@ PackResult pack(std::span<const UnitCounts> counts, const PackerConfig& cfg) {
   // Expand per-write-unit power to per-sub-slot power; trailing sub-slots
   // are appended on demand with a fresh budget.
   auto& slots = r.slot_power;
-  slots.reserve(static_cast<std::size_t>(r.result) * cfg.k);
-  for (u32 w = 0; w < r.result; ++w) {
-    for (u32 s = 0; s < cfg.k; ++s) slots.push_back(wu_power[w]);
+  slots.resize_uninitialized(static_cast<std::size_t>(r.result) * cfg.k);
+  {
+    u32* sp = slots.data();
+    const u32* wu = wu_power.data();
+    for (u32 w = 0; w < r.result; ++w) {
+      for (u32 s = 0; s < cfg.k; ++s) sp[w * cfg.k + s] = wu[w];
+    }
   }
   const u32 wu_slot_count = static_cast<u32>(slots.size());
 
-  for (const Item& it : sorted_items(counts, /*write1_phase=*/false, cfg)) {
+  const ItemsSoA items0 = sorted_items(counts, /*write1_phase=*/false, cfg);
+  const u32* it0_unit = items0.unit.data();
+  const u32* it0_cur = items0.current.data();
+  r.write0_queue.resize_uninitialized(items0.size());
+  Write0Slot* q0 = r.write0_queue.data();
+  for (std::size_t i = 0; i < items0.size(); ++i) {
     Write0Slot slot;
-    slot.unit = it.unit;
-    slot.current = it.current;
-    const auto [self_lo, self_hi] = span_of_unit[it.unit];
+    slot.unit = it0_unit[i];
+    slot.current = it0_cur[i];
+    TW_ASSERT(slot.unit < span_of_unit.size());
+    const auto [self_lo, self_hi] = span[slot.unit];
     const u32 forbid_lo = cfg.forbid_self_overlap ? self_lo * cfg.k : 0;
     const u32 forbid_hi = cfg.forbid_self_overlap ? self_hi * cfg.k : 0;
 
-    if (it.current > cfg.budget) {
+    if (slot.current > cfg.budget) {
       // Over-budget write-0: dedicated trailing sub-slots.
-      slot.passes = static_cast<u32>(ceil_div(it.current, cfg.budget));
+      slot.passes = static_cast<u32>(ceil_div(slot.current, cfg.budget));
       slot.sub_slot = static_cast<u32>(slots.size());
-      const u32 remainder = it.current - (slot.passes - 1) * cfg.budget;
+      const u32 remainder = slot.current - (slot.passes - 1) * cfg.budget;
       for (u32 p = 0; p + 1 < slot.passes; ++p) slots.push_back(cfg.budget);
       slots.push_back(remainder);
       r.subresult += slot.passes;
     } else {
-      u32 target = static_cast<u32>(slots.size());
-      for (u32 s = 0; s < slots.size(); ++s) {
-        ++r.fit_checks;
-        if (s >= forbid_lo && s < forbid_hi) continue;
-        if (slots[s] + it.current > cfg.budget) continue;
-        if (!best_fit) {
-          target = s;
-          break;
-        }
-        if (target == slots.size() || slots[s] > slots[target]) target = s;
-      }
-      if (target == slots.size()) {
+      const u32 n = static_cast<u32>(slots.size());
+      const u32 limit = cfg.budget - slot.current;
+      const u32 target =
+          best_fit ? best_fit_target(slots.data(), n, limit, forbid_lo,
+                                     forbid_hi, r.fit_checks)
+                   : first_fit_target(slots.data(), n, limit, forbid_lo,
+                                      forbid_hi, r.fit_checks, lv);
+      if (target == n) {
         slots.push_back(0);
         ++r.subresult;
       }
-      slots[target] += it.current;
+      slots.data()[target] += slot.current;
       slot.sub_slot = target;
     }
-    r.write0_queue.push_back(slot);
+    q0[i] = slot;
   }
   TW_ENSURES(slots.size() == wu_slot_count + r.subresult);
 

@@ -7,23 +7,18 @@ ReadStageResult read_stage(const pcm::LineBuf& line,
   ReadStageResult r;
   r.plans = schemes::plan_line(line, next, schemes::FlipCriterion::kHamming,
                                bits);
-  r.counts.reserve(r.plans.size());
-  for (u32 i = 0; i < r.plans.size(); ++i) {
-    const auto& p = r.plans[i];
-    UnitCounts c;
-    c.unit = i;
-    c.n1 = p.sets;
-    c.n0 = p.resets;
-    if (p.tag_changed) {
-      if (p.tag_to_one) {
-        ++c.n1;
-      } else {
-        ++c.n0;
-      }
-    }
-    if (p.flip) ++r.flipped_units;
-    r.counts.push_back(c);
+  const u32 units = static_cast<u32>(r.plans.size());
+  r.counts.resize_uninitialized(units);
+  UnitCounts* c = r.counts.data();  // hot path: unchecked writes
+  const schemes::UnitPlan* p = r.plans.data();
+  u32 flipped = 0;
+  for (u32 i = 0; i < units; ++i) {
+    c[i].unit = i;
+    c[i].n1 = p[i].sets + ((p[i].tag_changed && p[i].tag_to_one) ? 1u : 0u);
+    c[i].n0 = p[i].resets + ((p[i].tag_changed && !p[i].tag_to_one) ? 1u : 0u);
+    flipped += p[i].flip ? 1u : 0u;
   }
+  r.flipped_units = flipped;
   return r;
 }
 

@@ -3,35 +3,11 @@
 #include <algorithm>
 
 #include "tw/common/env.hpp"
+#include "tw/core/batch_packer.hpp"
 #include "tw/core/fsm.hpp"
 #include "tw/trace/emit.hpp"
 
 namespace tw::core {
-namespace {
-
-/// Per-chip transition demand of one unit write: bits [c*w, (c+1)*w) of
-/// the unit live on chip c. Returns the worst chip's SET and RESET counts.
-struct ChipWorst {
-  u32 sets = 0;
-  u32 resets = 0;
-};
-
-ChipWorst worst_chip_demand(u64 old_cells, u64 new_cells, u32 unit_bits,
-                            u32 chips) {
-  ChipWorst w;
-  const u32 per_chip = unit_bits / chips;
-  const u64 diff = (old_cells ^ new_cells) & low_mask(unit_bits);
-  for (u32 c = 0; c < chips; ++c) {
-    const u64 mask = low_mask(per_chip) << (c * per_chip);
-    const u32 s = popcount(diff & new_cells & mask);
-    const u32 r = popcount(diff & old_cells & mask);
-    w.sets = std::max(w.sets, s);
-    w.resets = std::max(w.resets, r);
-  }
-  return w;
-}
-
-}  // namespace
 
 TetrisScheme::TetrisScheme(const pcm::PcmConfig& cfg, TetrisOptions opts)
     : WriteScheme(cfg), opts_(opts) {
@@ -50,36 +26,15 @@ PackerConfig TetrisScheme::make_packer_config() const {
   return p;
 }
 
+BatchPackerOptions TetrisScheme::batch_packer_options() const {
+  return BatchPackerOptions{opts_.respect_gcp_setting, opts_.self_check};
+}
+
 CountsVec TetrisScheme::packing_counts(const pcm::LineBuf& line,
                                        const ReadStageResult& read,
                                        u32 unit_base) const {
-  CountsVec counts = read.counts;
-  const bool per_chip =
-      opts_.respect_gcp_setting && !cfg_.power.global_charge_pump &&
-      cfg_.geometry.chips_per_bank > 1 &&
-      cfg_.geometry.data_unit_bits % cfg_.geometry.chips_per_bank == 0;
-  for (u32 i = 0; i < counts.size(); ++i) {
-    if (per_chip) {
-      // Per-chip budgets bind: charge each unit chips x its worst chip's
-      // demand so that no chip can exceed its local share of the budget.
-      const auto& p = read.plans[i];
-      const ChipWorst w =
-          worst_chip_demand(line.cell(i), p.new_cells,
-                            cfg_.geometry.data_unit_bits,
-                            cfg_.geometry.chips_per_bank);
-      // A tag-only transition keeps a nonzero demand of 1.
-      if (counts[i].n1 > 0) {
-        counts[i].n1 =
-            std::max(w.sets * cfg_.geometry.chips_per_bank, 1u);
-      }
-      if (counts[i].n0 > 0) {
-        counts[i].n0 =
-            std::max(w.resets * cfg_.geometry.chips_per_bank, 1u);
-      }
-    }
-    counts[i].unit += unit_base;
-  }
-  return counts;
+  return BatchPacker(cfg_, batch_packer_options())
+      .line_counts(line, read, unit_base);
 }
 
 TetrisAnalysis TetrisScheme::analyze(const pcm::LineBuf& line,
@@ -165,32 +120,18 @@ schemes::BatchServicePlan TetrisScheme::plan_write_batch(
     std::span<const pcm::LogicalLine> datas) const {
   TW_EXPECTS(lines.size() == datas.size());
   TW_EXPECTS(!lines.empty());
-  const u32 units = cfg_.geometry.units_per_line();
   const PackerConfig pcfg = make_packer_config();
 
-  // Read stage per line; counts concatenated with per-line unit offsets.
-  std::vector<ReadStageResult> reads;
-  std::vector<UnitCounts> all_counts;
-  reads.reserve(lines.size());
-  all_counts.reserve(lines.size() * units);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    reads.push_back(
-        read_stage(*lines[i], datas[i], cfg_.geometry.data_unit_bits));
-    const auto counts = packing_counts(*lines[i], reads.back(),
-                                       static_cast<u32>(i) * units);
-    all_counts.insert(all_counts.end(), counts.begin(), counts.end());
-  }
-
-  // One joint packing over every unit of every line.
-  const PackResult packed = pack(all_counts, pcfg);
-  if (opts_.self_check) verify_pack(all_counts, pcfg, packed);
+  const BatchPackOutcome joint =
+      BatchPacker(cfg_, batch_packer_options())
+          .pack_lines(lines, datas, pcfg);
   if (trace::on<trace::Category::kFsm>()) {
-    (void)execute_fsms(packed, pcfg, cfg_.timing);
+    (void)execute_fsms(joint.pack, pcfg, cfg_.timing);
   }
 
   const Tick sub = cfg_.timing.t_set / pcfg.k;
   const Tick write_phase =
-      packed.result * cfg_.timing.t_set + packed.subresult * sub;
+      joint.pack.result * cfg_.timing.t_set + joint.pack.subresult * sub;
   // Reads-before-write serialize on the bank; each line carries its own
   // analysis (its own Reg0/Reg1 + analyzer pass).
   const Tick overhead =
@@ -198,19 +139,22 @@ schemes::BatchServicePlan TetrisScheme::plan_write_batch(
 
   schemes::BatchServicePlan batch;
   batch.latency = overhead + write_phase;
+  batch.packed_lines = joint.lines;
+  batch.occupancy = joint.occupancy(pcfg.budget);
   const double shared_units =
-      packed.write_unit_equiv(pcfg.k) / static_cast<double>(lines.size());
+      joint.pack.write_unit_equiv(pcfg.k) / static_cast<double>(lines.size());
   for (std::size_t i = 0; i < lines.size(); ++i) {
+    const ReadStageResult& read = joint.reads[i];
     schemes::ServicePlan s;
     s.read_before_write = true;
     s.analysis_ticks = opts_.analysis_latency();
-    s.flipped_units = reads[i].flipped_units;
-    s.programmed = reads[i].total();
+    s.flipped_units = read.flipped_units;
+    s.programmed = read.total();
     s.silent = s.programmed.total() == 0;
     s.latency = batch.latency;  // all lines complete together
     s.write_units = shared_units;
-    s.power_util = packed.power_utilization(pcfg.budget);
-    schemes::apply_plans(*lines[i], reads[i].plans);
+    s.power_util = batch.occupancy;
+    schemes::apply_plans(*lines[i], read.plans);
     batch.per_line.push_back(std::move(s));
   }
   return batch;

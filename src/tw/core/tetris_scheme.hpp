@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "tw/core/batch_packer.hpp"
 #include "tw/core/packer.hpp"
 #include "tw/core/read_stage.hpp"
 #include "tw/schemes/write_scheme.hpp"
@@ -83,9 +84,11 @@ class TetrisScheme final : public schemes::WriteScheme {
 
  private:
   PackerConfig make_packer_config() const;
+  BatchPackerOptions batch_packer_options() const;
 
   /// Packing inputs for one line's read-stage result, with the non-GCP
-  /// worst-chip scaling applied and unit ids offset by `unit_base`.
+  /// worst-chip scaling applied and unit ids offset by `unit_base`
+  /// (delegates to BatchPacker::line_counts).
   CountsVec packing_counts(const pcm::LineBuf& line,
                            const ReadStageResult& read,
                            u32 unit_base) const;

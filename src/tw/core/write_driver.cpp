@@ -19,8 +19,10 @@ BitTransitions drive_pass(pcm::PcmArray& array, u64 base_bit, u64 old_word,
                                                            : reset_enable);
 
   BitTransitions t;
-  for (u32 i = 0; i < bits; ++i) {
-    if (!get_bit(drive, i)) continue;
+  // Walk only the driven bits (countr_zero strips one per iteration, in
+  // ascending order — same observer order as the old full-width scan).
+  for (u64 pending = drive; pending != 0; pending &= pending - 1) {
+    const u32 i = static_cast<u32>(std::countr_zero(pending));
     const bool value = pass == WritePass::kSet;
     const pcm::ProgramResult r = array.program(base_bit + i, value);
     if (observer) observer->on_pulse(base_bit + i, pass, r);

@@ -135,6 +135,11 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.controller.write_batch = static_cast<u32>(to_u64(v));
        }},
+      // -- multi-line batch packing ---------------------------------------
+      {"batch.max_lines",
+       [](SystemConfig& c, const std::string& v) {
+         c.batch.max_lines = static_cast<u32>(to_u64(v));
+       }},
       // -- cores -----------------------------------------------------------
       {"core.clock_ps",
        [](SystemConfig& c, const std::string& v) {
@@ -316,6 +321,7 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
   out << "controller.gap_region_lines = "
       << cfg.controller.start_gap.region_lines << "\n";
   out << "controller.write_batch = " << cfg.controller.write_batch << "\n";
+  out << "batch.max_lines = " << cfg.batch.max_lines << "\n";
   out << "core.clock_ps = " << cfg.core.clock_period << "\n";
   out << "core.peak_ipc = " << cfg.core.peak_ipc << "\n";
   out << "core.mlp = " << cfg.core.mlp << "\n";

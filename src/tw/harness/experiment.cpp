@@ -90,6 +90,17 @@ void add_standard_gauges(trace::MetricsSnapshotter& snap, sim::Simulator& sim,
                    prev_sum = acc.sum();
                    return dn <= 0.0 ? 0.0 : ds / dn;
                  });
+  // Mean occupancy of the multi-line joint schedules issued this epoch
+  // (0 when batching is off or the scheme serializes its batches).
+  snap.add_gauge("batch_occupancy",
+                 [&, prev_sum = 0.0, prev_n = 0.0]() mutable {
+                   const auto& acc = reg.accumulator("mem.batch_occupancy");
+                   const double dn = static_cast<double>(acc.count()) - prev_n;
+                   const double ds = acc.sum() - prev_sum;
+                   prev_n = static_cast<double>(acc.count());
+                   prev_sum = acc.sum();
+                   return dn <= 0.0 ? 0.0 : ds / dn;
+                 });
 }
 
 /// Per-epoch fault gauges; only registered when a fault model is active so
@@ -147,6 +158,7 @@ u64 config_hash(const SystemConfig& cfg) {
   h = mix(h, cfg.controller.start_gap.region_lines);
   h = mix(h, cfg.controller.start_gap.gap_write_interval);
   h = mix(h, cfg.controller.write_batch);
+  h = mix(h, cfg.batch.max_lines);
   // Core model.
   h = mix(h, cfg.core.clock_period);
   h = mix_double(h, cfg.core.peak_ipc);
@@ -192,7 +204,11 @@ RunMetrics run_system(const SystemConfig& cfg,
                    cfg.pcm.geometry.banks * cfg.pcm.geometry.ranks,
                    cfg.seed);
   }
-  mem::Controller controller(sim, cfg.pcm, cfg.controller, *scheme, reg,
+  mem::ControllerConfig ccfg = cfg.controller;
+  // batch.max_lines is the canonical multi-line knob: when set it bounds
+  // the controller's same-bank write gather (1 = per-line packing).
+  if (cfg.batch.max_lines > 0) ccfg.write_batch = cfg.batch.max_lines;
+  mem::Controller controller(sim, cfg.pcm, ccfg, *scheme, reg,
                              cfg.seed, profile.initial_ones_fraction,
                              fmodel ? &*fmodel : nullptr);
   workload::TraceGenerator gen(profile, cfg.pcm.geometry, cfg.cores,
@@ -273,6 +289,8 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.write_pauses = reg.counter("mem.write_pauses").value();
   m.gap_moves = reg.counter("mem.gap_moves").value();
   m.writes_batched = reg.counter("mem.writes_batched").value();
+  m.batch_lines = reg.accumulator("mem.batch_lines").mean();
+  m.batch_occupancy = reg.accumulator("mem.batch_occupancy").mean();
   m.reads_forwarded = reg.counter("mem.reads_forwarded").value();
   m.writes_coalesced = reg.counter("mem.writes_coalesced").value();
   m.read_q_peak = controller.read_queue_peak();

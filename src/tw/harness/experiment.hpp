@@ -32,6 +32,16 @@ struct TraceConfig {
   }
 };
 
+/// Multi-line Tetris batch scheduling (our extension beyond the paper):
+/// the controller gathers up to max_lines age-ordered same-bank writes
+/// per dispatch and the scheme packs all their units into one schedule.
+struct BatchConfig {
+  /// Upper bound on lines per joint schedule. 0 leaves the controller's
+  /// write_batch setting untouched; >= 1 overrides it (1 = per-line
+  /// packing, bit-identical to the unbatched controller).
+  u32 max_lines = 0;
+};
+
 /// Everything configurable about one simulation (Table II defaults).
 struct SystemConfig {
   pcm::PcmConfig pcm;                  ///< device + geometry + power
@@ -39,6 +49,7 @@ struct SystemConfig {
   cpu::CoreConfig core;                ///< 2 GHz, peak IPC, MLP window
   core::TetrisOptions tetris;          ///< analysis overhead etc.
   fault::FaultConfig fault;            ///< fault injection (off by default)
+  BatchConfig batch;                   ///< multi-line batch packing
   TraceConfig trace;                   ///< structured tracing (off by default)
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
@@ -78,6 +89,8 @@ struct RunMetrics {
   u64 write_pauses = 0;   ///< write-pausing preemptions
   u64 gap_moves = 0;      ///< Start-Gap migration writes
   u64 writes_batched = 0; ///< writes serviced in multi-line batches
+  double batch_lines = 0.0;      ///< mean lines per multi-line batch issue
+  double batch_occupancy = 0.0;  ///< mean budget utilization of joint packs
   // Controller queue statistics (thread-count invariant like the rest).
   u64 reads_forwarded = 0;   ///< reads served from queued write data
   u64 writes_coalesced = 0;  ///< writes merged into a queued same-line write

@@ -75,6 +75,8 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       a_write_units_(registry.accumulator("mem.write_units")),
       a_write_service_(registry.accumulator("mem.write_service_ns")),
       a_power_util_(registry.accumulator("mem.power_utilization")),
+      a_batch_lines_(registry.accumulator("mem.batch_lines")),
+      a_batch_occupancy_(registry.accumulator("mem.batch_occupancy")),
       h_read_latency_(registry.histogram("mem.read_latency_hist_ns")),
       h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
   TW_EXPECTS(cfg_.valid());
@@ -806,6 +808,12 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
       {lines.data(), lines.size()}, {datas.data(), datas.size()});
   TW_ASSERT(batch.per_line.size() == reqs.size());
+  // Batch-occupancy metrics: how many lines actually shared one packed
+  // schedule and how full that schedule was (0 for serializing schemes).
+  a_batch_lines_.add(static_cast<double>(reqs.size()));
+  if (batch.packed_lines > 0 && batch.occupancy > 0.0) {
+    a_batch_occupancy_.add(batch.occupancy);
+  }
 
   // Fault pricing extends the whole batch's bank occupancy: the retry
   // sub-requests of every member line run on the shared charge pump.

@@ -371,6 +371,8 @@ class Controller {
   stats::Accumulator& a_write_units_;
   stats::Accumulator& a_write_service_;
   stats::Accumulator& a_power_util_;
+  stats::Accumulator& a_batch_lines_;
+  stats::Accumulator& a_batch_occupancy_;
   stats::Log2Histogram& h_read_latency_;
   stats::Log2Histogram& h_write_latency_;
 };

@@ -65,6 +65,11 @@ class LineBuf {
     return {cells_.data(), units_};
   }
 
+  /// Raw per-unit flip tags (unchecked; the bounds are units()). The
+  /// write-path loops read cells/flips through these spans instead of the
+  /// contract-checked per-element accessors.
+  std::span<const bool> flip_bits() const { return {flip_.data(), units_}; }
+
   bool operator==(const LineBuf& o) const {
     if (units_ != o.units_) return false;
     for (u32 i = 0; i < units_; ++i) {

@@ -1,6 +1,9 @@
 #include "tw/schemes/prep.hpp"
 
+#include <algorithm>
+
 #include "tw/common/assert.hpp"
+#include "tw/common/simd.hpp"
 
 namespace tw::schemes {
 
@@ -48,10 +51,79 @@ UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
 PlanVec plan_line(const pcm::LineBuf& line, const pcm::LogicalLine& next,
                   FlipCriterion crit, u32 bits) {
   TW_EXPECTS(line.units() == next.units());
+  TW_EXPECTS(bits >= 1 && bits <= 64);
+  TW_EXPECTS(line.units() <= pcm::kMaxUnitsPerLine);
+  // min() is a no-op after the check above, but it lets the compiler
+  // prove the staging loops stay in bounds, so the arrays can go
+  // uninitialized (zeroing them cost ~1 KB of stores per line write).
+  const u32 units = std::min(line.units(), pcm::kMaxUnitsPerLine);
+  const u64 mask = low_mask(bits);
+
+  // Structure-of-arrays staging: gather the masked words once, then run
+  // the batched popcount kernels over the whole line instead of four
+  // scalar popcounts per unit. Must stay arithmetically identical to
+  // plan_unit() (the per-unit reference the differential tests pin).
+  // Hot path: raw-span access to cells/flip tags and unchecked plan
+  // writes; the ISA level is fetched once for the whole line.
+  u64 old_w[pcm::kMaxUnitsPerLine];
+  u64 new_w[pcm::kMaxUnitsPerLine];
+  u64 stored[pcm::kMaxUnitsPerLine];
+  u32 cnt_a[pcm::kMaxUnitsPerLine];
+  u32 cnt_b[pcm::kMaxUnitsPerLine];
+  const u64* cells = line.cell_words().data();
+  const bool* flips = line.flip_bits().data();
+  const u64* words = next.words().data();
+  const simd::Level lv = simd::active_level();
+  for (u32 i = 0; i < units; ++i) {
+    old_w[i] = cells[i] & mask;
+    new_w[i] = words[i] & mask;
+  }
+
   PlanVec plans;
-  for (u32 i = 0; i < line.units(); ++i) {
-    plans.push_back(
-        plan_unit(line.cell(i), line.flip(i), next.word(i), crit, bits));
+  plans.resize(units, UnitPlan{});
+  UnitPlan* pl = plans.data();
+  switch (crit) {
+    case FlipCriterion::kNone:
+      break;
+    case FlipCriterion::kHamming: {
+      // One XOR-popcount per unit suffices: with d = hamming(new, old),
+      // the flip cost hamming(~new & mask, old) is exactly bits - d, so
+      // plan_unit's cost comparison reduces to d and the tag state.
+      for (u32 i = 0; i < units; ++i) stored[i] = old_w[i] ^ new_w[i];
+      simd::popcount_each(stored, units, cnt_a, lv);
+      for (u32 i = 0; i < units; ++i) {
+        const u32 d = cnt_a[i];
+        const bool old_tag = flips[i];
+        const u32 cost_plain = d + (old_tag ? 1u : 0u);
+        const u32 cost_flip = (bits - d) + (old_tag ? 0u : 1u);
+        pl[i].flip = cost_flip < cost_plain;
+      }
+      break;
+    }
+    case FlipCriterion::kMinimizeSets:
+      simd::popcount_each(new_w, units, cnt_a, lv);
+      for (u32 i = 0; i < units; ++i) {
+        pl[i].flip = cnt_a[i] * 2 > bits;
+      }
+      break;
+  }
+
+  for (u32 i = 0; i < units; ++i) {
+    stored[i] = (pl[i].flip ? ~new_w[i] : new_w[i]) & mask;
+  }
+  simd::transition_counts(old_w, stored, units, cnt_a, cnt_b, lv);
+  for (u32 i = 0; i < units; ++i) {
+    pl[i].new_cells = stored[i];
+    pl[i].sets = cnt_a[i];
+    pl[i].resets = cnt_b[i];
+  }
+  simd::popcount_each(stored, units, cnt_a, lv);
+  for (u32 i = 0; i < units; ++i) {
+    pl[i].all_ones = cnt_a[i];
+    pl[i].all_zeros = bits - cnt_a[i];
+    const bool old_tag = flips[i];
+    pl[i].tag_changed = old_tag != pl[i].flip;
+    pl[i].tag_to_one = pl[i].flip;
   }
   return plans;
 }

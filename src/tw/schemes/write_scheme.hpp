@@ -88,6 +88,11 @@ struct ServicePlan {
 struct BatchServicePlan {
   Tick latency = 0;                   ///< total bank occupancy
   std::vector<ServicePlan> per_line;  ///< one plan per input line
+  /// Lines that actually shared one packed schedule (serializing schemes
+  /// report 0: every line ran alone) — the batch-occupancy metric.
+  u32 packed_lines = 0;
+  /// Budget utilization of the joint schedule (0 when not packed).
+  double occupancy = 0.0;
 };
 
 /// Abstract write scheme. Implementations are stateless w.r.t. requests

@@ -80,6 +80,8 @@ enum class Op : u16 {
   kWrite1Pack = 48,   ///< write-1 placed into a write unit
   kWrite0Steal = 49,  ///< write-0 stole an interspace sub-slot
   kWrite0Trail = 50,  ///< write-0 appended a trailing sub-slot
+  kBatchPack = 51,    ///< multi-line joint pack (arg0 = lines,
+                      ///< arg1 = occupancy in per-mille of budget)
   // kCache
   kCacheMiss = 64,       ///< missed every level: demand PCM read
   kCacheWriteback = 65,  ///< dirty line cascaded out to PCM

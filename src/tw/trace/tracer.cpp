@@ -38,6 +38,7 @@ const char* op_name(Op op) {
     case Op::kWrite1Pack: return "write1_pack";
     case Op::kWrite0Steal: return "write0_steal";
     case Op::kWrite0Trail: return "write0_trail";
+    case Op::kBatchPack: return "batch_pack";
     case Op::kCacheMiss: return "cache_miss";
     case Op::kCacheWriteback: return "cache_writeback";
     case Op::kGauge: return "gauge";

@@ -12,9 +12,12 @@
 #include <vector>
 
 #include "tw/common/rng.hpp"
+#include "tw/core/batch_packer.hpp"
 #include "tw/core/factory.hpp"
+#include "tw/core/fsm.hpp"
 #include "tw/core/packer.hpp"
 #include "tw/verify/differential.hpp"
+#include "tw/verify/invariant_monitor.hpp"
 
 namespace tw::core {
 namespace {
@@ -293,6 +296,222 @@ TEST(FuzzPacker, RetrySpreadRepacksUnderBudget) {
       check_or_minimize(c);
     }
   }
+}
+
+// ------------------------------------------------- multi-line batches --
+// Fuzz layer for the BatchPacker joint schedules: K same-bank lines enter
+// one pack under the bank budget, re-checked end to end by verify_pack,
+// the InvariantMonitor's schedule/trace recomputation, and the executed
+// FSM model. Failures shrink through a multi-line minimizer (drop lines,
+// silence units) that prints a copy-pasteable reproducer.
+
+struct MultiLineCase {
+  u32 budget = 128;
+  std::vector<pcm::LineBuf> lines;
+  std::vector<pcm::LogicalLine> datas;
+};
+
+std::string multi_reproducer(const MultiLineCase& c) {
+  std::ostringstream out;
+  out << std::hex << "budget=" << std::dec << c.budget << " lines={";
+  for (std::size_t i = 0; i < c.lines.size(); ++i) {
+    out << "{cells:" << std::hex;
+    for (u32 u = 0; u < c.lines[i].units(); ++u) {
+      out << (u ? "," : "") << c.lines[i].cell(u)
+          << (c.lines[i].flip(u) ? "F" : "");
+    }
+    out << " next:";
+    for (u32 u = 0; u < c.datas[i].units(); ++u) {
+      out << (u ? "," : "") << c.datas[i].word(u);
+    }
+    out << std::dec << "},";
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Joint-pack a case and re-check every invariant: verify_pack, the
+/// monitor's independent schedule + trace recomputation, the executed-FSM
+/// power model, the age-ordered unit renumbering, and per-line image
+/// correctness. True when anything fails (the minimizer's predicate).
+bool multi_line_broken(MultiLineCase c) {
+  const pcm::PcmConfig dev = pcm::table2_config();
+  const u32 units = dev.geometry.units_per_line();
+  PackerConfig pcfg;
+  pcfg.k = dev.k();
+  pcfg.l = dev.l();
+  pcfg.budget = c.budget;
+  try {
+    std::vector<pcm::LineBuf*> ptrs;
+    for (auto& l : c.lines) ptrs.push_back(&l);
+    const BatchPacker bp(dev, BatchPackerOptions{});
+    const BatchPackOutcome out = bp.pack_lines(
+        {ptrs.data(), ptrs.size()}, {c.datas.data(), c.datas.size()}, pcfg);
+
+    verify_pack(out.counts, pcfg, out.pack);
+    verify::InvariantMonitor monitor(pcfg, dev.timing);
+    monitor.check_schedule(out.counts, out.pack, pcfg);
+    const FsmTrace trace = execute_fsms(out.pack, pcfg, dev.timing);
+    monitor.check_trace(trace, out.pack);
+    if (trace.peak_current > pcfg.budget) return true;
+
+    // Age-ordered renumbering: line i's unit u is global unit i*units+u,
+    // concatenated in the controller's input (age) order without gaps.
+    if (out.lines != c.lines.size()) return true;
+    if (out.reads.size() != c.lines.size()) return true;
+    if (out.counts.size() != c.lines.size() * units) return true;
+    for (std::size_t g = 0; g < out.counts.size(); ++g) {
+      if (out.counts[g].unit != g) return true;
+    }
+    // Per-line image correctness: each line's plans, applied, must decode
+    // back to exactly the data the batch was asked to store.
+    for (std::size_t i = 0; i < c.lines.size(); ++i) {
+      pcm::LineBuf post = c.lines[i];
+      schemes::apply_plans(
+          post, {out.reads[i].plans.data(), out.reads[i].plans.size()});
+      if (!(pcm::LogicalLine::from_physical(post) == c.datas[i])) return true;
+    }
+  } catch (const std::exception&) {
+    return true;
+  }
+  return false;
+}
+
+/// Greedy multi-line shrinking: drop whole lines, then silence individual
+/// units (next := current logical value, zero demand), as long as the
+/// failure predicate keeps holding.
+MultiLineCase minimize_multi(
+    MultiLineCase c, const std::function<bool(const MultiLineCase&)>& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; c.lines.size() > 1 && i < c.lines.size();) {
+      MultiLineCase smaller = c;
+      smaller.lines.erase(smaller.lines.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      smaller.datas.erase(smaller.datas.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (fails(smaller)) {
+        c = std::move(smaller);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < c.lines.size(); ++i) {
+      for (u32 u = 0; u < c.lines[i].units(); ++u) {
+        if (c.datas[i].word(u) == c.lines[i].logical(u)) continue;
+        MultiLineCase quieter = c;
+        quieter.datas[i].set_word(u, c.lines[i].logical(u));
+        if (fails(quieter)) {
+          c = std::move(quieter);
+          progress = true;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void check_or_minimize_multi(const MultiLineCase& c) {
+  if (!multi_line_broken(c)) return;
+  const MultiLineCase minimal = minimize_multi(c, multi_line_broken);
+  FAIL() << "multi-line batch invariant violated; minimal reproducer: "
+         << multi_reproducer(minimal);
+}
+
+MultiLineCase random_multi_case(Rng& rng, u32 max_lines, u32 budget) {
+  const pcm::PcmConfig dev = pcm::table2_config();
+  const u32 units = dev.geometry.units_per_line();
+  MultiLineCase c;
+  c.budget = budget;
+  const u32 k = 1 + static_cast<u32>(rng.next() % max_lines);
+  for (u32 i = 0; i < k; ++i) {
+    pcm::LineBuf line(units);
+    pcm::LogicalLine next(units);
+    for (u32 u = 0; u < units; ++u) {
+      u64 cells = rng.next();
+      if (rng.chance(0.2)) cells = rng.chance(0.5) ? 0x0ull : ~0x0ull;
+      line.set_cell(u, cells);
+      line.set_flip(u, rng.chance(0.3));
+      // Mix full rewrites, sparse deltas, and silent units.
+      u64 w = rng.next();
+      if (rng.chance(0.3)) w = line.logical(u) ^ (rng.next() & rng.next());
+      if (rng.chance(0.1)) w = line.logical(u);
+      next.set_word(u, w);
+    }
+    c.lines.push_back(line);
+    c.datas.push_back(next);
+  }
+  return c;
+}
+
+TEST(FuzzPacker, MultiLineJointPackCampaign) {
+  // Random K-line batches (K up to 8, the ablation's largest setting)
+  // against the Table II budget and squeezed budgets that force shared,
+  // multi-pass, and overflow write units in one joint schedule.
+  Rng rng(0xBA7Cull);
+  for (const u32 budget : {128u, 64u, 32u}) {
+    for (int trial = 0; trial < 500; ++trial) {
+      check_or_minimize_multi(random_multi_case(rng, 8, budget));
+    }
+  }
+}
+
+TEST(FuzzPacker, MultiLineDegenerateSingleLineMatchesPack) {
+  // A one-line "batch" is plain Algorithm 2: the joint schedule must be
+  // bit-identical to pack() over that line's own read-stage counts.
+  const pcm::PcmConfig dev = pcm::table2_config();
+  PackerConfig pcfg;
+  pcfg.k = dev.k();
+  pcfg.l = dev.l();
+  pcfg.budget = dev.bank_power_budget();
+  const BatchPacker bp(dev, BatchPackerOptions{});
+  Rng rng(0x1A7Cull);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    MultiLineCase c = random_multi_case(rng, 1, pcfg.budget);
+    std::vector<pcm::LineBuf*> ptrs{&c.lines[0]};
+    const BatchPackOutcome out =
+        bp.pack_lines({ptrs.data(), 1}, {c.datas.data(), 1}, pcfg);
+    const CountsVec counts = bp.line_counts(c.lines[0], out.reads[0], 0);
+    const PackResult solo = pack({counts.data(), counts.size()}, pcfg);
+    EXPECT_EQ(out.pack.result, solo.result);
+    EXPECT_EQ(out.pack.subresult, solo.subresult);
+    EXPECT_EQ(out.pack.fit_checks, solo.fit_checks);
+    ASSERT_EQ(out.pack.write1_queue.size(), solo.write1_queue.size());
+    ASSERT_EQ(out.pack.write0_queue.size(), solo.write0_queue.size());
+  }
+}
+
+TEST(FuzzPacker, MultiLineMinimizerShrinksToMinimalCase) {
+  // Self-test on a synthetic predicate: "fails" iff at least two lines
+  // are present and some line still demands a write in unit 0. The
+  // minimizer must drop every extra line and silence every other unit.
+  const auto fails = [](const MultiLineCase& c) {
+    if (c.lines.size() < 2) return false;
+    for (std::size_t i = 0; i < c.lines.size(); ++i) {
+      if (c.datas[i].word(0) != c.lines[i].logical(0)) return true;
+    }
+    return false;
+  };
+  Rng rng(0x313Bull);
+  MultiLineCase big = random_multi_case(rng, 6, 128);
+  while (big.lines.size() < 2 || !fails(big)) {
+    big = random_multi_case(rng, 6, 128);
+  }
+  const MultiLineCase minimal = minimize_multi(big, fails);
+  ASSERT_TRUE(fails(minimal));
+  ASSERT_EQ(minimal.lines.size(), 2u);
+  u32 loud_units = 0;
+  for (std::size_t i = 0; i < minimal.lines.size(); ++i) {
+    for (u32 u = 0; u < minimal.lines[i].units(); ++u) {
+      if (minimal.datas[i].word(u) != minimal.lines[i].logical(u)) {
+        ++loud_units;
+        EXPECT_EQ(u, 0u);  // only the trigger unit survives
+      }
+    }
+  }
+  EXPECT_EQ(loud_units, 1u);
 }
 
 // ----------------------------------------------------------- minimizer --

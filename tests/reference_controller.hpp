@@ -70,6 +70,8 @@ class ReferenceController {
         a_write_latency_(registry.accumulator("mem.write_latency_ns")),
         a_write_units_(registry.accumulator("mem.write_units")),
         a_write_service_(registry.accumulator("mem.write_service_ns")),
+        a_batch_lines_(registry.accumulator("mem.batch_lines")),
+        a_batch_occupancy_(registry.accumulator("mem.batch_occupancy")),
         h_read_latency_(registry.histogram("mem.read_latency_hist_ns")),
         h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
     TW_EXPECTS(cfg_.valid());
@@ -397,6 +399,10 @@ class ReferenceController {
     const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
         {lines.data(), lines.size()}, {datas.data(), datas.size()});
     TW_ASSERT(batch.per_line.size() == reqs.size());
+    a_batch_lines_.add(static_cast<double>(reqs.size()));
+    if (batch.packed_lines > 0 && batch.occupancy > 0.0) {
+      a_batch_occupancy_.add(batch.occupancy);
+    }
 
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       const schemes::ServicePlan& plan = batch.per_line[i];
@@ -606,6 +612,8 @@ class ReferenceController {
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;
   stats::Accumulator& a_write_service_;
+  stats::Accumulator& a_batch_lines_;
+  stats::Accumulator& a_batch_occupancy_;
   stats::Log2Histogram& h_read_latency_;
   stats::Log2Histogram& h_write_latency_;
 };

@@ -19,8 +19,11 @@
 #include "reference_controller.hpp"
 #include "tw/common/rng.hpp"
 #include "tw/core/factory.hpp"
+#include "tw/harness/experiment.hpp"
+#include "tw/mem/address_map.hpp"
 #include "tw/mem/controller.hpp"
 #include "tw/sim/simulator.hpp"
+#include "tw/workload/profiles.hpp"
 
 namespace tw::mem {
 namespace {
@@ -79,6 +82,8 @@ struct Observation {
 
   u64 reads = 0, writes = 0, forwarded = 0, coalesced = 0, silent = 0;
   u64 flipped = 0, pauses = 0, gap_moves = 0, batched = 0;
+  u64 batch_issues = 0, batch_packs = 0;
+  double batch_lines_sum = 0, batch_lines_max = 0, batch_occupancy_sum = 0;
   double read_lat_sum = 0, write_lat_sum = 0;
   double write_units_sum = 0, write_service_sum = 0;
   double write_pj = 0, read_pj = 0;
@@ -129,6 +134,11 @@ Observation run_one(const pcm::PcmConfig& pcm_cfg, ControllerConfig ccfg,
   obs.pauses = reg.counter("mem.write_pauses").value();
   obs.gap_moves = reg.counter("mem.gap_moves").value();
   obs.batched = reg.counter("mem.writes_batched").value();
+  obs.batch_issues = reg.accumulator("mem.batch_lines").count();
+  obs.batch_packs = reg.accumulator("mem.batch_occupancy").count();
+  obs.batch_lines_sum = reg.accumulator("mem.batch_lines").sum();
+  obs.batch_lines_max = reg.accumulator("mem.batch_lines").max();
+  obs.batch_occupancy_sum = reg.accumulator("mem.batch_occupancy").sum();
   obs.read_lat_sum = reg.accumulator("mem.read_latency_ns").sum();
   obs.write_lat_sum = reg.accumulator("mem.write_latency_ns").sum();
   obs.write_units_sum = reg.accumulator("mem.write_units").sum();
@@ -171,6 +181,10 @@ void expect_equivalent(const Observation& idx, const Observation& ref) {
   EXPECT_EQ(idx.pauses, ref.pauses);
   EXPECT_EQ(idx.gap_moves, ref.gap_moves);
   EXPECT_EQ(idx.batched, ref.batched);
+  EXPECT_EQ(idx.batch_issues, ref.batch_issues);
+  EXPECT_EQ(idx.batch_packs, ref.batch_packs);
+  EXPECT_EQ(idx.batch_lines_sum, ref.batch_lines_sum);
+  EXPECT_EQ(idx.batch_occupancy_sum, ref.batch_occupancy_sum);
   // Exact double equality: same arithmetic in the same order.
   EXPECT_EQ(idx.read_lat_sum, ref.read_lat_sum);
   EXPECT_EQ(idx.write_lat_sum, ref.write_lat_sum);
@@ -380,6 +394,135 @@ TEST(SchedDiff, PausingBatchedTetrisOpportunistic) {
   sc.shape.write_frac = 0.7;
   sc.shape.num_lines = 64;
   run_scenario(sc);
+}
+
+TEST(SchedDiff, BatchMaxLinesOneDegeneracyFamily) {
+  // batch.max_lines=1 maps to write_batch=1 in the harness (see
+  // experiment.cpp): single-line batch formation must degenerate to the
+  // unbatched per-line issue path, bit-identical to the frozen reference
+  // controller across schemes and drain policies. Any multi-line machinery
+  // leaking into the K=1 case (extra events, different service pricing,
+  // spurious batch stats) diverges here.
+  for (const auto kind : {schemes::SchemeKind::kTetris,
+                          schemes::SchemeKind::kDcw,
+                          schemes::SchemeKind::kFlipNWrite}) {
+    for (const auto drain : {ControllerConfig::DrainPolicy::kStrict,
+                             ControllerConfig::DrainPolicy::kOpportunistic}) {
+      Scenario sc;
+      sc.name = std::string("batch1-") + std::string(schemes::scheme_name(kind)) +
+                (drain == ControllerConfig::DrainPolicy::kStrict
+                     ? "-strict"
+                     : "-opportunistic");
+      sc.cfg.write_batch = 1;
+      sc.cfg.drain = drain;
+      sc.kind = kind;
+      sc.seeds = 1;
+      sc.shape.requests = 1200;
+      sc.shape.write_frac = 0.7;
+      run_scenario(sc);
+    }
+  }
+
+  // And the K=1 runs must record zero multi-line batches: the degenerate
+  // case takes the per-line path, it doesn't form 1-line batches.
+  pcm::PcmConfig pcm_cfg = pcm::table2_config();
+  ControllerConfig ccfg;
+  ccfg.write_batch = 1;
+  StreamShape shape;
+  shape.requests = 1200;
+  shape.write_frac = 0.7;
+  const auto stream = make_stream(0xC0FFEE, shape);
+  const auto obs = run_one<Controller>(pcm_cfg, ccfg,
+                                       schemes::SchemeKind::kTetris, stream);
+  EXPECT_EQ(obs.batched, 0u);
+  EXPECT_EQ(obs.batch_issues, 0u);
+  EXPECT_EQ(obs.batch_packs, 0u);
+}
+
+TEST(SchedDiff, BatchMaxLinesDegeneracyAtHarnessLevel) {
+  // Same degeneracy one layer up: a full system run with batch.max_lines=1
+  // must be bit-identical to the untouched default (the controller's
+  // write_batch already defaults to 1), and both must record no batches.
+  harness::SystemConfig base;
+  base.cores = 2;
+  base.instructions_per_core = 30'000;
+  base.seed = 7;
+  harness::SystemConfig k1 = base;
+  k1.batch.max_lines = 1;
+  const auto& wl = workload::profile_by_name("vips");
+  const auto a =
+      harness::run_system(base, wl, schemes::SchemeKind::kTetris);
+  const auto b = harness::run_system(k1, wl, schemes::SchemeKind::kTetris);
+  EXPECT_TRUE(a.completed);
+  EXPECT_GT(a.writes, 0u);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.runtime_ns, b.runtime_ns);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.write_latency_ns, b.write_latency_ns);
+  EXPECT_EQ(a.write_service_ns, b.write_service_ns);
+  EXPECT_EQ(a.write_energy_pj, b.write_energy_pj);
+  EXPECT_EQ(a.writes_batched, b.writes_batched);
+  EXPECT_EQ(a.writes_batched, 0u);
+  EXPECT_EQ(a.batch_lines, b.batch_lines);
+  EXPECT_EQ(a.batch_occupancy, b.batch_occupancy);
+}
+
+TEST(SchedDiff, MultiLineBatchVsReferenceUpToEight) {
+  // The multi-line path itself, differentially: K in {2, 8} batched Tetris
+  // against the frozen reference controller on write-heavy streams.
+  for (const u32 k : {2u, 8u}) {
+    Scenario sc;
+    sc.name = "batchK" + std::to_string(k) + "-tetris";
+    sc.cfg.write_batch = k;
+    sc.kind = schemes::SchemeKind::kTetris;
+    sc.seeds = 1;
+    sc.shape.requests = 2000;
+    sc.shape.write_frac = 0.8;
+    run_scenario(sc);
+  }
+}
+
+TEST(SchedDiff, MultiLineBatchAgeAndDrainOrder) {
+  // Strict age-ordering and drain-cutoff rules with K > 1: same-bank
+  // writes must complete in enqueue (age) order — batch formation takes a
+  // lead write plus *older-than-any-later-arrival* same-bank followers,
+  // never reordering across a drain boundary — and no batch may exceed
+  // the configured line cap.
+  pcm::PcmConfig pcm_cfg = pcm::table2_config();
+  ControllerConfig ccfg;
+  ccfg.write_batch = 4;
+  StreamShape shape;
+  shape.requests = 2500;
+  shape.write_frac = 0.8;
+  shape.num_lines = 64;  // few banks' worth: deep same-bank queues
+  const auto stream = make_stream(0xA9E0, shape);
+  const auto obs = run_one<Controller>(pcm_cfg, ccfg,
+                                       schemes::SchemeKind::kTetris, stream);
+
+  // The stream must actually exercise multi-line batches.
+  EXPECT_GT(obs.batched, 0u);
+  EXPECT_GT(obs.batch_packs, 0u);
+  // Drain cutoff: no batch ever exceeds write_batch lines.
+  EXPECT_LE(obs.batch_lines_max, static_cast<double>(ccfg.write_batch));
+  EXPECT_GT(obs.batch_lines_max, 1.0);
+
+  // Completion callbacks fire in simulated-time order, and within one
+  // batch in the batch's own line order — so per bank, the write
+  // completion log must be non-decreasing in enqueue tick.
+  const mem::AddressMap map(pcm_cfg.geometry);
+  std::vector<Tick> last_enqueue(map.total_banks(), 0);
+  u32 write_completions = 0;
+  for (const Completion& c : obs.done) {
+    if (c.kind != 'W') continue;
+    ++write_completions;
+    const u32 bank = map.flat_bank(c.addr);
+    EXPECT_GE(c.enqueue, last_enqueue[bank])
+        << "bank " << bank << " write id " << c.id
+        << " completed before an older same-bank write";
+    last_enqueue[bank] = c.enqueue;
+  }
+  EXPECT_GT(write_completions, 500u);
 }
 
 TEST(SchedDiff, NoCoalescingNoForwardingThreeStage) {
