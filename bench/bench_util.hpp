@@ -35,6 +35,9 @@ struct Options {
   u32 trace_categories = trace::kAllCategories;
   fault::FaultProfile fault_profile = fault::FaultProfile::kNone;
   u32 batch_lines = 0;  ///< batch.max_lines override (0 = leave default)
+  u32 channels = 1;     ///< memory channels (power of two)
+  pcm::ChannelInterleave interleave = pcm::ChannelInterleave::kLine;
+  u32 sim_threads = 0;  ///< pool-thread cap for the channel phase (0 = all)
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -66,6 +69,32 @@ struct Options {
       } else if (starts_with(arg, "--batch-lines=")) {
         o.batch_lines = static_cast<u32>(
             std::strtoul(value("--batch-lines="), nullptr, 10));
+      } else if (starts_with(arg, "--channels=")) {
+        const u64 n = std::strtoull(value("--channels="), nullptr, 10);
+        if (n == 0 || (n & (n - 1)) != 0) {
+          std::cerr << "--channels must be a power of two >= 1 (got '"
+                    << value("--channels=")
+                    << "'); the channel decoder extracts log2(channels) "
+                       "address bits\n";
+          std::exit(2);
+        }
+        o.channels = static_cast<u32>(n);
+      } else if (starts_with(arg, "--interleave=")) {
+        const std::string s = value("--interleave=");
+        if (s == "line") {
+          o.interleave = pcm::ChannelInterleave::kLine;
+        } else if (s == "bank") {
+          o.interleave = pcm::ChannelInterleave::kBank;
+        } else if (s == "row") {
+          o.interleave = pcm::ChannelInterleave::kRow;
+        } else {
+          std::cerr << "--interleave must be line|bank|row (got '" << s
+                    << "')\n";
+          std::exit(2);
+        }
+      } else if (starts_with(arg, "--sim-threads=")) {
+        o.sim_threads = static_cast<u32>(
+            std::strtoul(value("--sim-threads="), nullptr, 10));
       } else if (starts_with(arg, "--trace-categories=")) {
         o.trace_categories =
             trace::parse_categories(value("--trace-categories="));
@@ -81,6 +110,8 @@ struct Options {
         o.fault_profile = *p;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick --ops=N --seed=N --threads=N "
+                     "--channels=N --interleave=line|bank|row "
+                     "--sim-threads=N "
                      "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
                      "--trace-metrics=PATH --trace-categories=LIST "
                      "--fault-profile=none|light|heavy|stuck-bank\n";
@@ -150,6 +181,9 @@ inline harness::SystemConfig system_config(
   cfg.seed = o.seed;
   cfg.fault = fault::profile_config(o.fault_profile);
   cfg.batch.max_lines = o.batch_lines;
+  cfg.pcm.geometry.channels = o.channels;
+  cfg.pcm.geometry.channel_interleave = o.interleave;
+  cfg.sim_threads = o.sim_threads;
   return cfg;
 }
 

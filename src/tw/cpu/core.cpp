@@ -9,13 +9,13 @@
 namespace tw::cpu {
 
 Core::Core(sim::Simulator& sim, u32 id, CoreConfig cfg,
-           mem::Controller& controller, workload::RequestSource& gen,
+           mem::MemoryInterface& mem, workload::RequestSource& gen,
            u64 instruction_budget)
     : sim_(sim),
       id_(id),
       cfg_(cfg),
       clock_(cfg.clock_period),
-      ctl_(controller),
+      ctl_(mem),
       gen_(gen),
       budget_(instruction_budget) {
   TW_EXPECTS(cfg.valid());
@@ -67,7 +67,7 @@ void Core::try_issue() {
 
   if (pending_.is_write) {
     req.type = mem::ReqType::kWrite;
-    req.data = gen_.make_write_data(pending_.addr, ctl_.store(), id_);
+    req.data = gen_.make_write_data(pending_.addr, ctl_.store_for(pending_.addr), id_);
     if (!ctl_.enqueue(std::move(req))) {
       if (state_ != State::kStallQueue) ++stall_events_;
       state_ = State::kStallQueue;

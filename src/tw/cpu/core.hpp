@@ -10,7 +10,7 @@
 // time into IPC/runtime effects in the paper.
 
 #include "tw/common/types.hpp"
-#include "tw/mem/controller.hpp"
+#include "tw/mem/interface.hpp"
 #include "tw/sim/simulator.hpp"
 #include "tw/workload/source.hpp"
 
@@ -31,7 +31,7 @@ struct CoreConfig {
 class Core {
  public:
   Core(sim::Simulator& sim, u32 id, CoreConfig cfg,
-       mem::Controller& controller, workload::RequestSource& gen,
+       mem::MemoryInterface& mem, workload::RequestSource& gen,
        u64 instruction_budget);
 
   /// Begin execution (schedules the first event).
@@ -73,7 +73,7 @@ class Core {
   u32 id_;
   CoreConfig cfg_;
   sim::Clock clock_;
-  mem::Controller& ctl_;
+  mem::MemoryInterface& ctl_;
   workload::RequestSource& gen_;
 
   u64 budget_;

@@ -7,21 +7,21 @@
 namespace tw::cpu {
 
 MultiCore::MultiCore(sim::Simulator& sim, CoreConfig cfg, u32 cores,
-                     mem::Controller& controller,
+                     mem::MemoryInterface& mem,
                      workload::RequestSource& gen,
                      u64 instructions_per_core)
     : sim_(sim), cfg_(cfg) {
   TW_EXPECTS(cores >= 1);
   cores_.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
-    cores_.push_back(std::make_unique<Core>(sim, c, cfg, controller, gen,
+    cores_.push_back(std::make_unique<Core>(sim, c, cfg, mem, gen,
                                             instructions_per_core));
   }
-  controller.set_read_callback([this](const mem::MemoryRequest& req) {
+  mem.set_read_callback([this](const mem::MemoryRequest& req) {
     TW_ASSERT(req.core < cores_.size());
     cores_[req.core]->on_read_complete();
   });
-  controller.set_space_callback([this] {
+  mem.set_space_callback([this] {
     for (auto& core : cores_) core->on_queue_space();
   });
 }

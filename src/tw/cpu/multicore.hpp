@@ -14,7 +14,7 @@ namespace tw::cpu {
 class MultiCore {
  public:
   MultiCore(sim::Simulator& sim, CoreConfig cfg, u32 cores,
-            mem::Controller& controller, workload::RequestSource& gen,
+            mem::MemoryInterface& mem, workload::RequestSource& gen,
             u64 instructions_per_core);
 
   /// Start all cores (wires controller callbacks; call once).

@@ -81,6 +81,29 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.pcm.geometry.subarrays_per_bank = static_cast<u32>(to_u64(v));
        }},
+      {"pcm.channels",
+       [](SystemConfig& c, const std::string& v) {
+         const u64 n = to_u64(v);
+         if (n == 0 || (n & (n - 1)) != 0) {
+           throw std::runtime_error(
+               "channels must be a power of two >= 1 (got " + v +
+               "); the channel decoder extracts log2(channels) address bits");
+         }
+         c.pcm.geometry.channels = static_cast<u32>(n);
+       }},
+      {"pcm.channel_interleave",
+       [](SystemConfig& c, const std::string& v) {
+         const std::string s = to_lower(v);
+         if (s == "line") {
+           c.pcm.geometry.channel_interleave = pcm::ChannelInterleave::kLine;
+         } else if (s == "bank") {
+           c.pcm.geometry.channel_interleave = pcm::ChannelInterleave::kBank;
+         } else if (s == "row") {
+           c.pcm.geometry.channel_interleave = pcm::ChannelInterleave::kRow;
+         } else {
+           throw std::runtime_error("channel_interleave must be line|bank|row");
+         }
+       }},
       // -- controller ------------------------------------------------------
       {"controller.read_queue",
        [](SystemConfig& c, const std::string& v) {
@@ -220,6 +243,21 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.fault.brownout_budget_factor = to_double(v);
        }},
+      // -- xbar / sharded engine --------------------------------------------
+      {"xbar.latency_ns",
+       [](SystemConfig& c, const std::string& v) {
+         const u64 n = to_u64(v);
+         if (n == 0) {
+           throw std::runtime_error(
+               "xbar latency must be >= 1 ns (it is also the sharded "
+               "engine's lockstep quantum)");
+         }
+         c.xbar_latency = ns(n);
+       }},
+      {"sys.sim_threads",
+       [](SystemConfig& c, const std::string& v) {
+         c.sim_threads = static_cast<u32>(to_u64(v));
+       }},
       // -- run -------------------------------------------------------------
       {"sys.cores",
        [](SystemConfig& c, const std::string& v) {
@@ -297,6 +335,10 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
   out << "pcm.line_bytes = " << cfg.pcm.geometry.cache_line_bytes << "\n";
   out << "pcm.banks = " << cfg.pcm.geometry.banks << "\n";
   out << "pcm.subarrays = " << cfg.pcm.geometry.subarrays_per_bank << "\n";
+  out << "pcm.channels = " << cfg.pcm.geometry.channels << "\n";
+  out << "pcm.channel_interleave = "
+      << pcm::channel_interleave_name(cfg.pcm.geometry.channel_interleave)
+      << "\n";
   out << "controller.read_queue = " << cfg.controller.read_queue_entries
       << "\n";
   out << "controller.write_queue = " << cfg.controller.write_queue_entries
@@ -347,6 +389,8 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
     out << "fault.brownout_budget_factor = "
         << cfg.fault.brownout_budget_factor << "\n";
   }
+  out << "xbar.latency_ns = " << cfg.xbar_latency / 1000 << "\n";
+  out << "sys.sim_threads = " << cfg.sim_threads << "\n";
   out << "sys.cores = " << cfg.cores << "\n";
   out << "sys.instructions = " << cfg.instructions_per_core << "\n";
   out << "sys.seed = " << cfg.seed << "\n";

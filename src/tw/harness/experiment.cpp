@@ -1,10 +1,12 @@
 #include "tw/harness/experiment.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 
 #include "tw/common/version.hpp"
 #include "tw/fault/fault_model.hpp"
+#include "tw/mem/memory_system.hpp"
 #include "tw/stats/registry.hpp"
 #include "tw/trace/chrome_sink.hpp"
 #include "tw/trace/metrics_sink.hpp"
@@ -103,6 +105,68 @@ void add_standard_gauges(trace::MetricsSnapshotter& snap, sim::Simulator& sim,
                  });
 }
 
+/// Gauges for a multi-channel system: aggregate queue depths and traffic
+/// across channels, plus per-channel write activity so a trace shows
+/// which channels carry the load. Reads cross-registry state only during
+/// the serial front phase (sampling happens on the front domain), so no
+/// synchronization is needed.
+void add_channel_gauges(trace::MetricsSnapshotter& snap, sim::Simulator& sim,
+                        mem::MemorySystem& msys) {
+  const u32 channels = msys.channels();
+  snap.add_gauge("read_q_depth", [&msys, channels] {
+    u64 d = 0;
+    for (u32 c = 0; c < channels; ++c) d += msys.channel(c).read_queue_depth();
+    return static_cast<double>(d);
+  });
+  snap.add_gauge("write_q_depth", [&msys, channels] {
+    u64 d = 0;
+    for (u32 c = 0; c < channels; ++c) d += msys.channel(c).write_queue_depth();
+    return static_cast<double>(d);
+  });
+  snap.add_gauge("banks_busy", [&msys, &sim, channels] {
+    u32 busy = 0;
+    for (u32 c = 0; c < channels; ++c) {
+      for (const auto& b : msys.channel(c).banks()) {
+        if (!b.idle_at(sim.now())) ++busy;
+      }
+    }
+    return static_cast<double>(busy);
+  });
+  snap.add_gauge("reads_epoch", [&msys, channels, prev = 0.0]() mutable {
+    double t = 0.0;
+    for (u32 c = 0; c < channels; ++c) {
+      t += static_cast<double>(
+          msys.channel_registry(c)->counter("mem.reads").value());
+    }
+    const double d = t - prev;
+    prev = t;
+    return d;
+  });
+  snap.add_gauge("writes_epoch", [&msys, channels, prev = 0.0]() mutable {
+    double t = 0.0;
+    for (u32 c = 0; c < channels; ++c) {
+      t += static_cast<double>(
+          msys.channel_registry(c)->counter("mem.writes").value());
+    }
+    const double d = t - prev;
+    prev = t;
+    return d;
+  });
+  for (u32 c = 0; c < channels; ++c) {
+    snap.add_gauge("ch" + std::to_string(c) + "_writes_epoch",
+                   [&msys, c, prev = 0.0]() mutable {
+                     const double t = static_cast<double>(
+                         msys.channel_registry(c)->counter("mem.writes").value());
+                     const double d = t - prev;
+                     prev = t;
+                     return d;
+                   });
+    snap.add_gauge("ch" + std::to_string(c) + "_write_q_depth", [&msys, c] {
+      return static_cast<double>(msys.channel(c).write_queue_depth());
+    });
+  }
+}
+
 /// Per-epoch fault gauges; only registered when a fault model is active so
 /// fault-free traces keep their exact current column set.
 void add_fault_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
@@ -139,6 +203,11 @@ u64 config_hash(const SystemConfig& cfg) {
   h = mix(h, cfg.pcm.geometry.ranks);
   h = mix(h, cfg.pcm.geometry.subarrays_per_bank);
   h = mix(h, cfg.pcm.geometry.capacity_bytes);
+  // Channel topology (sim_threads is deliberately excluded: it never
+  // affects results).
+  h = mix(h, cfg.pcm.geometry.channels);
+  h = mix(h, static_cast<u64>(cfg.pcm.geometry.channel_interleave));
+  h = mix(h, cfg.xbar_latency);
   h = mix_double(h, cfg.pcm.energy.set_pj);
   h = mix_double(h, cfg.pcm.energy.reset_pj);
   h = mix_double(h, cfg.pcm.energy.read_bit_pj);
@@ -197,51 +266,69 @@ RunMetrics run_system(const SystemConfig& cfg,
   sim::Simulator sim;
   stats::Registry reg;
 
-  const auto scheme = core::make_scheme(kind, cfg.pcm, cfg.tetris);
-  std::optional<fault::FaultModel> fmodel;
-  if (cfg.fault.enabled()) {
-    fmodel.emplace(cfg.fault,
-                   cfg.pcm.geometry.banks * cfg.pcm.geometry.ranks,
-                   cfg.seed);
-  }
+  // The factory gives every channel its own scheme instance (schemes
+  // carry mutable planning state); channels == 1 builds exactly one.
+  const mem::SchemeFactory factory = [&](u32) {
+    return core::make_scheme(kind, cfg.pcm, cfg.tetris);
+  };
   mem::ControllerConfig ccfg = cfg.controller;
   // batch.max_lines is the canonical multi-line knob: when set it bounds
   // the controller's same-bank write gather (1 = per-line packing).
   if (cfg.batch.max_lines > 0) ccfg.write_batch = cfg.batch.max_lines;
-  mem::Controller controller(sim, cfg.pcm, ccfg, *scheme, reg,
-                             cfg.seed, profile.initial_ones_fraction,
-                             fmodel ? &*fmodel : nullptr);
+  mem::MemorySystem msys(sim, cfg.pcm, ccfg, factory, reg, cfg.fault,
+                         cfg.seed, profile.initial_ones_fraction,
+                         cfg.xbar_latency, cfg.sim_threads);
+  const u32 channels = msys.channels();
   workload::TraceGenerator gen(profile, cfg.pcm.geometry, cfg.cores,
                                cfg.seed * 0x9E3779B9u + 7);
-  cpu::MultiCore cpus(sim, cfg.core, cfg.cores, controller, gen,
+  cpu::MultiCore cpus(sim, cfg.core, cfg.cores, msys, gen,
                       cfg.instructions_per_core);
 
   // Observability: attach the tracer to this thread for the duration of
   // the run, sample gauges on the metrics epoch, and serialize at the end.
+  // Multi-channel runs bind one pre-created ring per simulation domain
+  // instead of a plain thread attach, so trace bytes stay identical at
+  // every thread count.
   const bool traced = cfg.trace.enabled();
   std::optional<trace::Tracer> tracer;
   std::optional<trace::Tracer::Attach> attach;
   std::optional<trace::MetricsSnapshotter> snapshotter;
   if (traced) {
     tracer.emplace(cfg.trace.categories, cfg.trace.ring_capacity);
-    attach.emplace(*tracer);
+    if (channels == 1) {
+      attach.emplace(*tracer);
+    } else {
+      msys.bind_trace(*tracer);
+    }
     snapshotter.emplace(sim, reg, cfg.trace.metrics_epoch);
-    add_standard_gauges(*snapshotter, sim, controller, reg);
-    if (fmodel) add_fault_gauges(*snapshotter, reg);
+    if (channels == 1) {
+      add_standard_gauges(*snapshotter, sim, msys.channel(0), reg);
+    } else {
+      add_channel_gauges(*snapshotter, sim, msys);
+    }
+    if (cfg.fault.enabled() && channels == 1) {
+      add_fault_gauges(*snapshotter, reg);
+    }
     snapshotter->start();
   }
 
   cpus.start();
-  sim.run(cfg.max_sim_time);
+  msys.run(cfg.max_sim_time);
 
   RunMetrics m;
   m.workload = profile.name;
-  m.scheme = std::string(scheme->name());
+  m.scheme = std::string(msys.scheme().name());
   m.completed = cpus.all_finished();
 
   if (traced) {
-    snapshotter->sample();  // final partial epoch
-    attach.reset();         // stop emitting before collection
+    if (channels == 1) {
+      snapshotter->sample();  // final partial epoch
+      attach.reset();         // stop emitting before collection
+    } else {
+      // Final partial epoch emits into the front domain's ring.
+      trace::Tracer::Attach fin(*tracer, *msys.front_ring());
+      snapshotter->sample();
+    }
 
     trace::RunManifest manifest;
     manifest.version = kVersionString;
@@ -269,6 +356,9 @@ RunMetrics run_system(const SystemConfig& cfg,
     m.trace_samples = snapshotter->samples_taken();
   }
 
+  // Fold per-channel registries into the main registry (no-op for
+  // channels == 1) before harvesting.
+  msys.merge_stats();
   m.read_latency_ns = reg.accumulator("mem.read_latency_ns").mean();
   m.write_latency_ns = reg.accumulator("mem.write_latency_ns").mean();
   m.write_service_ns = reg.accumulator("mem.write_service_ns").mean();
@@ -278,14 +368,26 @@ RunMetrics run_system(const SystemConfig& cfg,
       reg.histogram("mem.write_latency_hist_ns").percentile(0.99);
   m.reads = reg.counter("mem.reads").value();
   m.writes = reg.counter("mem.writes").value();
-  m.sim_events = sim.executed();
+  m.sim_events = msys.executed_events();
   m.retired = cpus.total_retired();
   m.ipc = cpus.aggregate_ipc();
   m.runtime_ns = to_ns(cpus.runtime());
-  m.write_energy_pj = controller.energy().write_energy_pj();
-  m.read_energy_pj = controller.energy().read_energy_pj();
-  const pcm::WearSummary wear = controller.wear().summary();
-  m.bits_per_write = wear.avg_bits_per_write;
+  // Per-channel device models aggregate across channels (channels == 1
+  // reduces to the plain single-controller reads).
+  u64 wear_bits = 0;
+  u64 wear_writes = 0;
+  m.write_energy_pj = 0.0;
+  m.read_energy_pj = 0.0;
+  for (u32 c = 0; c < channels; ++c) {
+    m.write_energy_pj += msys.channel(c).energy().write_energy_pj();
+    m.read_energy_pj += msys.channel(c).energy().read_energy_pj();
+    const pcm::WearSummary wear = msys.channel(c).wear().summary();
+    wear_bits += wear.total_bits;
+    wear_writes += wear.total_writes;
+  }
+  m.bits_per_write = wear_writes == 0 ? 0.0
+                                      : static_cast<double>(wear_bits) /
+                                            static_cast<double>(wear_writes);
   m.write_pauses = reg.counter("mem.write_pauses").value();
   m.gap_moves = reg.counter("mem.gap_moves").value();
   m.writes_batched = reg.counter("mem.writes_batched").value();
@@ -293,8 +395,14 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.batch_occupancy = reg.accumulator("mem.batch_occupancy").mean();
   m.reads_forwarded = reg.counter("mem.reads_forwarded").value();
   m.writes_coalesced = reg.counter("mem.writes_coalesced").value();
-  m.read_q_peak = controller.read_queue_peak();
-  m.write_q_peak = controller.write_queue_peak();
+  m.read_q_peak = 0;
+  m.write_q_peak = 0;
+  for (u32 c = 0; c < channels; ++c) {
+    m.read_q_peak = std::max<u64>(m.read_q_peak,
+                                  msys.channel(c).read_queue_peak());
+    m.write_q_peak = std::max<u64>(m.write_q_peak,
+                                   msys.channel(c).write_queue_peak());
+  }
   m.dispatch_rounds = reg.counter("mem.dispatch_rounds").value();
   m.row_hits = reg.counter("mem.row_hits").value();
   m.fault_retries = reg.counter("mem.fault_retries").value();

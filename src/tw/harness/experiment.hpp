@@ -54,6 +54,14 @@ struct SystemConfig {
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
   u64 seed = 42;
+  /// XBar hop latency between the CPU front-end and a channel controller;
+  /// also the sharded engine's lockstep quantum. Only modeled when
+  /// pcm.geometry.channels > 1.
+  Tick xbar_latency = ns(20);
+  /// Pool-thread cap for the parallel channel phase (0 = all available).
+  /// Never affects results — same-seed runs are bit-identical at any
+  /// value — so it is excluded from config_hash.
+  u32 sim_threads = 0;
   /// Safety cap on simulated time; a run that exceeds it is marked
   /// incomplete rather than hanging.
   Tick max_sim_time = ms(10'000);

@@ -1,7 +1,13 @@
 #pragma once
 // Physical address decomposition: line-interleaved bank mapping
 // (consecutive cache lines hit consecutive banks, maximizing bank-level
-// parallelism for streaming writes — the standard NVMain default).
+// parallelism for streaming writes — the standard NVMain default), plus
+// channel routing for the multi-channel topology. The channel bits are
+// stripped before bank/row decoding so that every controller sees a
+// dense channel-local geometry while still operating on global
+// addresses (the sparse DataStore keys by global line address).
+
+#include <stdexcept>
 
 #include "tw/common/assert.hpp"
 #include "tw/common/types.hpp"
@@ -11,6 +17,7 @@ namespace tw::mem {
 
 /// Decoded location of a cache line.
 struct Location {
+  u32 channel = 0;
   u32 rank = 0;
   u32 bank = 0;
   u32 subarray = 0;
@@ -25,10 +32,16 @@ class AddressMap {
         banks_(g.banks),
         ranks_(g.ranks),
         subarrays_(g.subarrays_per_bank),
-        line_shift_(log2_pow2(g.cache_line_bytes)) {
-    TW_EXPECTS(is_pow2(g.cache_line_bytes));
-    TW_EXPECTS(is_pow2(g.banks));
-    TW_EXPECTS(is_pow2(g.subarrays_per_bank));
+        channels_(g.channels == 0 ? 1 : g.channels),
+        interleave_(g.channel_interleave),
+        line_shift_(is_pow2(g.cache_line_bytes) ? log2_pow2(g.cache_line_bytes)
+                                                : 0),
+        lines_per_channel_(g.cache_line_bytes == 0
+                               ? 0
+                               : g.capacity_bytes / channels_ /
+                                     g.cache_line_bytes) {
+    const std::string err = g.error();
+    if (!err.empty()) throw std::invalid_argument("AddressMap: " + err);
   }
 
   /// Align an address down to its cache line.
@@ -37,9 +50,48 @@ class AddressMap {
   /// Sequential line index of an address.
   u64 line_index(Addr a) const { return a >> line_shift_; }
 
-  Location decode(Addr a) const {
+  /// Which channel owns the line (routing decision of the XBar).
+  u32 channel_of(Addr a) const {
+    if (channels_ == 1) return 0;
     const u64 li = line_index(a);
+    switch (interleave_) {
+      case pcm::ChannelInterleave::kLine:
+        return static_cast<u32>(li & (channels_ - 1));
+      case pcm::ChannelInterleave::kBank:
+        return static_cast<u32>((li >> log2_pow2(banks_)) & (channels_ - 1));
+      case pcm::ChannelInterleave::kRow:
+        return static_cast<u32>((li / lines_per_channel_) & (channels_ - 1));
+    }
+    return 0;
+  }
+
+  Location decode(Addr a) const {
+    u64 li = line_index(a);
     Location loc;
+    if (channels_ > 1) {
+      // Strip the channel bits so each controller decodes a dense
+      // channel-local line index (all banks/rows reachable per channel).
+      switch (interleave_) {
+        case pcm::ChannelInterleave::kLine:
+          loc.channel = static_cast<u32>(li & (channels_ - 1));
+          li >>= log2_pow2(channels_);
+          break;
+        case pcm::ChannelInterleave::kBank: {
+          const u32 bank_bits = log2_pow2(banks_);
+          loc.channel =
+              static_cast<u32>((li >> bank_bits) & (channels_ - 1));
+          const u64 bank_part = li & (banks_ - 1);
+          li = ((li >> bank_bits >> log2_pow2(channels_)) << bank_bits) |
+               bank_part;
+          break;
+        }
+        case pcm::ChannelInterleave::kRow:
+          loc.channel =
+              static_cast<u32>((li / lines_per_channel_) & (channels_ - 1));
+          li %= lines_per_channel_;
+          break;
+      }
+    }
     loc.bank = static_cast<u32>(li & (banks_ - 1));
     const u64 above = li >> log2_pow2(banks_);
     loc.rank = static_cast<u32>(above % ranks_);
@@ -67,13 +119,17 @@ class AddressMap {
 
   u32 subarrays_per_bank() const { return subarrays_; }
   u32 line_bytes() const { return line_bytes_; }
+  u32 channels() const { return channels_; }
 
  private:
   u32 line_bytes_;
   u32 banks_;
   u32 ranks_;
   u32 subarrays_;
+  u32 channels_;
+  pcm::ChannelInterleave interleave_;
   u32 line_shift_;
+  u64 lines_per_channel_;
 };
 
 }  // namespace tw::mem

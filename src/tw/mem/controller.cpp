@@ -14,16 +14,25 @@ namespace {
 // Shorthand for the controller's emission sites; every record is gated on
 // the kController category.
 constexpr auto kCat = trace::Category::kController;
-constexpr u32 kReadQueueTrack = trace::track_id(trace::Track::kQueue, 0);
-constexpr u32 kWriteQueueTrack = trace::track_id(trace::Track::kQueue, 1);
-constexpr u32 bank_track(u32 bank) {
-  return trace::track_id(trace::Track::kBank, bank);
+// Track instance indices are offset by the controller's track_base so a
+// MemorySystem can namespace each channel's tracks (base 0 keeps
+// single-channel traces byte-identical to before).
+constexpr u32 read_queue_track(u32 base) {
+  return trace::track_id(trace::Track::kQueue, base + 0);
 }
-constexpr u32 sub_track(u32 sub) {
-  return trace::track_id(trace::Track::kSubarray, sub);
+constexpr u32 write_queue_track(u32 base) {
+  return trace::track_id(trace::Track::kQueue, base + 1);
+}
+constexpr u32 bank_track(u32 base, u32 bank) {
+  return trace::track_id(trace::Track::kBank, base + bank);
+}
+constexpr u32 sub_track(u32 base, u32 sub) {
+  return trace::track_id(trace::Track::kSubarray, base + sub);
 }
 constexpr auto kFaultCat = trace::Category::kFault;
-constexpr u32 kFaultTrack = trace::track_id(trace::Track::kFault, 0);
+constexpr u32 fault_track(u32 base) {
+  return trace::track_id(trace::Track::kFault, base);
+}
 }  // namespace
 
 Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
@@ -174,7 +183,7 @@ bool Controller::enqueue(MemoryRequest req) {
             c_coalesced_.inc();
             if (trace::on<kCat>()) {
               trace::emit_instant(kCat, trace::Op::kWriteCoalesce,
-                                  kWriteQueueTrack, sim_.now(), req.id,
+                                  write_queue_track(cfg_.track_base), sim_.now(), req.id,
                                   nodes_[id].req.id);
             }
             return true;
@@ -188,7 +197,7 @@ bool Controller::enqueue(MemoryRequest req) {
             c_coalesced_.inc();
             if (trace::on<kCat>()) {
               trace::emit_instant(kCat, trace::Op::kWriteCoalesce,
-                                  kWriteQueueTrack, sim_.now(), req.id,
+                                  write_queue_track(cfg_.track_base), sim_.now(), req.id,
                                   nodes_[id].req.id);
             }
             return true;
@@ -200,7 +209,7 @@ bool Controller::enqueue(MemoryRequest req) {
     const u64 req_id = req.id;
     link_write(make_node(std::move(req), bank));
     if (trace::on<kCat>()) {
-      trace::emit_instant(kCat, trace::Op::kWriteEnqueue, kWriteQueueTrack,
+      trace::emit_instant(kCat, trace::Op::kWriteEnqueue, write_queue_track(cfg_.track_base),
                           sim_.now(), req_id, write_age_.size());
     }
     if (write_age_.size() >= cfg_.write_queue_entries) set_draining(true);
@@ -232,7 +241,7 @@ bool Controller::enqueue(MemoryRequest req) {
         c_forwarded_.inc();
         c_reads_.inc();
         if (trace::on<kCat>()) {
-          trace::emit_instant(kCat, trace::Op::kReadForward, kReadQueueTrack,
+          trace::emit_instant(kCat, trace::Op::kReadForward, read_queue_track(cfg_.track_base),
                               sim_.now(), req.id, nodes_[match].req.id);
         }
         MemoryRequest done = req;
@@ -257,7 +266,7 @@ bool Controller::enqueue(MemoryRequest req) {
     const u32 sub = map_.flat_subarray(req.addr);
     link_read(make_node(std::move(req), sub));
     if (trace::on<kCat>()) {
-      trace::emit_instant(kCat, trace::Op::kReadEnqueue, kReadQueueTrack,
+      trace::emit_instant(kCat, trace::Op::kReadEnqueue, read_queue_track(cfg_.track_base),
                           sim_.now(), req_id, read_age_.size());
     }
   }
@@ -337,7 +346,7 @@ void Controller::set_draining(bool on) {
   draining_ = on;
   if (trace::on<kCat>()) {
     trace::emit_instant(kCat, on ? trace::Op::kDrainStart : trace::Op::kDrainEnd,
-                        kWriteQueueTrack, sim_.now(), write_age_.size());
+                        write_queue_track(cfg_.track_base), sim_.now(), write_age_.size());
   }
 }
 
@@ -346,7 +355,7 @@ void Controller::dispatch() {
   c_dispatches_.inc();
   const Tick now = sim_.now();
   if (trace::on<kCat>()) {
-    trace::emit_instant(kCat, trace::Op::kDispatch, kReadQueueTrack, now,
+    trace::emit_instant(kCat, trace::Op::kDispatch, read_queue_track(cfg_.track_base), now,
                         read_age_.size(), write_age_.size());
   }
 
@@ -621,7 +630,7 @@ void Controller::note_stuck_remap(Addr phys) {
   if (eff == raw) return;
   c_stuck_remaps_.inc();
   if (trace::on<kFaultCat>()) {
-    trace::emit_instant(kFaultCat, trace::Op::kStuckRemap, kFaultTrack,
+    trace::emit_instant(kFaultCat, trace::Op::kStuckRemap, fault_track(cfg_.track_base),
                         sim_.now(), raw, eff);
   }
 }
@@ -633,7 +642,7 @@ double Controller::begin_plan_scope(Tick now) {
     scheme_.set_budget_scale(factor);
     c_brownout_writes_.inc();
     if (trace::on<kFaultCat>()) {
-      trace::emit_instant(kFaultCat, trace::Op::kBrownoutWrite, kFaultTrack,
+      trace::emit_instant(kFaultCat, trace::Op::kBrownoutWrite, fault_track(cfg_.track_base),
                           now, scheme_.effective_budget(),
                           pcm_.bank_power_budget());
     }
@@ -658,7 +667,7 @@ Tick Controller::apply_line_faults(Addr phys,
     wear_.record_retry(phys, out.retry_pulses);
     c_fault_retries_.inc(out.attempts);
     if (trace::on<kFaultCat>()) {
-      trace::emit_instant(kFaultCat, trace::Op::kFaultRetry, kFaultTrack,
+      trace::emit_instant(kFaultCat, trace::Op::kFaultRetry, fault_track(cfg_.track_base),
                           sim_.now(), out.attempts, out.extra_latency);
     }
   }
@@ -667,7 +676,7 @@ Tick Controller::apply_line_faults(Addr phys,
     // problem) and keep going — resilience means not asserting here.
     c_failed_lines_.inc();
     if (trace::on<kFaultCat>()) {
-      trace::emit_instant(kFaultCat, trace::Op::kLineFailed, kFaultTrack,
+      trace::emit_instant(kFaultCat, trace::Op::kLineFailed, fault_track(cfg_.track_base),
                           sim_.now(), out.failed_sets + out.failed_resets,
                           phys);
     }
@@ -687,7 +696,7 @@ void Controller::issue_read(MemoryRequest req) {
   ++inflight_;
   c_reads_.inc();
   if (trace::on<kCat>()) {
-    trace::emit_span(kCat, trace::Op::kReadService, sub_track(subarray), now,
+    trace::emit_span(kCat, trace::Op::kReadService, sub_track(cfg_.track_base, subarray), now,
                      service, req.id);
   }
   note_row_activate(eff_bank(phys), phys);
@@ -723,7 +732,7 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     pcm::LineBuf& line = store_.line(phys);
     // The context hands the analysis stage (packer, FSM expansion) an
     // absolute time base + bank track for its own emissions.
-    trace::ScopedContext tctx(now, bank_track(bank));
+    trace::ScopedContext tctx(now, bank_track(cfg_.track_base, bank));
     // Writes planned inside a charge-pump brown-out window pack against
     // the shrunken budget; the scope stays open through the fault pricing
     // so retry sub-requests see the same budget.
@@ -755,7 +764,7 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
   if (trace::on<kCat>()) {
-    trace::emit_span(kCat, trace::Op::kWriteService, bank_track(bank), now,
+    trace::emit_span(kCat, trace::Op::kWriteService, bank_track(cfg_.track_base, bank), now,
                      service, req.id);
   }
 
@@ -803,7 +812,7 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   }
   for (const Addr p : phys) lines.push_back(&store_.line(p));
 
-  trace::ScopedContext tctx(now, bank_track(bank));
+  trace::ScopedContext tctx(now, bank_track(cfg_.track_base, bank));
   const double bscale = begin_plan_scope(now);
   const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
       {lines.data(), lines.size()}, {datas.data(), datas.size()});
@@ -874,7 +883,7 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   });
   ++inflight_;
   if (trace::on<kCat>()) {
-    trace::emit_span(kCat, trace::Op::kBatchService, bank_track(bank), start,
+    trace::emit_span(kCat, trace::Op::kBatchService, bank_track(cfg_.track_base, bank), start,
                      batch_service, reqs.size());
   }
   const Tick done_in = start + batch_service - now;
@@ -911,7 +920,7 @@ void Controller::apply_gap_move(u64 region, const GapMove& move) {
 
   const u32 bank = eff_bank(dst);
   if (trace::on<kCat>()) {
-    trace::emit_instant(kCat, trace::Op::kGapMove, bank_track(bank),
+    trace::emit_instant(kCat, trace::Op::kGapMove, bank_track(cfg_.track_base, bank),
                         sim_.now(), region, gap_service);
   }
   const u32 subarray = eff_sub(dst);
@@ -931,7 +940,7 @@ void Controller::complete_write(u32 bank, u64 epoch) {
 
   MemoryRequest req = std::move(active->req);
   if (trace::on<kCat>()) {
-    trace::emit_instant(kCat, trace::Op::kWriteComplete, bank_track(bank),
+    trace::emit_instant(kCat, trace::Op::kWriteComplete, bank_track(cfg_.track_base, bank),
                         sim_.now(), req.id, active->service);
   }
   active.reset();
@@ -961,7 +970,7 @@ bool Controller::try_pause(u32 bank, u32 wanted_subarray) {
   banks_[bank].preempt(boundary);
   subarrays_[active->subarray].preempt(boundary);
   if (trace::on<kCat>()) {
-    trace::emit_instant(kCat, trace::Op::kWritePause, bank_track(bank),
+    trace::emit_instant(kCat, trace::Op::kWritePause, bank_track(cfg_.track_base, bank),
                         boundary, active->req.id, active->end - boundary);
   }
   PausedWrite paused;
@@ -989,7 +998,7 @@ void Controller::resume_paused(u32 bank) {
   banks_[bank].occupy(now, paused.remaining);
   subarrays_[paused.subarray].occupy(now, paused.remaining);
   if (trace::on<kCat>()) {
-    trace::emit_instant(kCat, trace::Op::kWriteResume, bank_track(bank), now,
+    trace::emit_instant(kCat, trace::Op::kWriteResume, bank_track(cfg_.track_base, bank), now,
                         paused.req.id, paused.remaining);
   }
   const u64 epoch = ++bank_epoch_[bank];

@@ -49,6 +49,7 @@
 #include "tw/fault/fault_model.hpp"
 #include "tw/mem/address_map.hpp"
 #include "tw/mem/data_store.hpp"
+#include "tw/mem/interface.hpp"
 #include "tw/mem/request.hpp"
 #include "tw/mem/start_gap.hpp"
 #include "tw/pcm/bank.hpp"
@@ -104,6 +105,12 @@ struct ControllerConfig {
   /// reference FRFCFS); DRAM-like front-ends can enable it.
   bool row_hit_first = false;
 
+  /// Added to every trace-track instance index this controller emits.
+  /// MemorySystem gives channel c a base of c * 4096 so per-channel bank,
+  /// queue and FSM tracks stay distinct in one merged trace. 0 (the
+  /// default) keeps single-channel traces byte-identical to before.
+  u32 track_base = 0;
+
   bool valid() const {
     return read_queue_entries > 0 && write_queue_entries > 0 &&
            drain_low_watermark < write_queue_entries &&
@@ -114,11 +121,11 @@ struct ControllerConfig {
 
 /// The memory controller + PCM bank array + content store, wired into an
 /// event-driven Simulator. One instance models one channel.
-class Controller {
+class Controller : public MemoryInterface {
  public:
-  using ReadCallback = std::function<void(const MemoryRequest&)>;
-  using WriteCallback = std::function<void(const MemoryRequest&)>;
-  using SpaceCallback = std::function<void()>;
+  using ReadCallback = MemoryInterface::ReadCallback;
+  using WriteCallback = MemoryInterface::WriteCallback;
+  using SpaceCallback = MemoryInterface::SpaceCallback;
 
   /// The scheme is shared (not owned); it must outlive the controller.
   /// `ones_bias` seeds the first-touch memory content distribution.
@@ -135,17 +142,21 @@ class Controller {
 
   /// Try to accept a request. Returns false when the target queue is full
   /// (the caller should wait for the space callback and retry).
-  bool enqueue(MemoryRequest req);
+  bool enqueue(MemoryRequest req) override;
 
   /// Invoked when a read's data returns.
-  void set_read_callback(ReadCallback cb) { on_read_ = std::move(cb); }
+  void set_read_callback(ReadCallback cb) override { on_read_ = std::move(cb); }
   /// Invoked when a write completes service (informational).
-  void set_write_callback(WriteCallback cb) { on_write_ = std::move(cb); }
+  void set_write_callback(WriteCallback cb) override {
+    on_write_ = std::move(cb);
+  }
   /// Invoked whenever queue space frees up.
-  void set_space_callback(SpaceCallback cb) { on_space_ = std::move(cb); }
+  void set_space_callback(SpaceCallback cb) override {
+    on_space_ = std::move(cb);
+  }
 
   /// True when both queues are empty and all banks idle (quiesced).
-  bool idle() const;
+  bool idle() const override;
 
   u32 read_queue_depth() const { return read_age_.size(); }
   u32 write_queue_depth() const { return write_age_.size(); }
@@ -162,6 +173,7 @@ class Controller {
   Addr physical_of(Addr logical_line_addr);
 
   DataStore& store() { return store_; }
+  DataStore& store_for(Addr) override { return store_; }
   const pcm::EnergyModel& energy() const { return energy_; }
   const pcm::WearTracker& wear() const { return wear_; }
   const AddressMap& address_map() const { return map_; }

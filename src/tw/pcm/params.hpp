@@ -40,6 +40,15 @@ struct PowerParams {
   bool valid() const { return reset_current_ratio_l >= 1 && chip_budget > 0; }
 };
 
+/// Which line-index bits select the channel in a multi-channel topology.
+enum class ChannelInterleave : u8 {
+  kLine = 0,  ///< lowest line bits: consecutive lines rotate channels
+  kBank = 1,  ///< above the bank bits: bank stride stays within a channel
+  kRow = 2,   ///< top bits: contiguous capacity partitions per channel
+};
+
+const char* channel_interleave_name(ChannelInterleave i);
+
 /// Memory organization (bank-level geometry).
 struct GeometryParams {
   u32 chips_per_bank = 4;       ///< X16 chips forming one 64-bit bank
@@ -54,6 +63,11 @@ struct GeometryParams {
   /// pump. 1 = the paper's baseline organization.
   u32 subarrays_per_bank = 1;
   u64 capacity_bytes = u64{4} * 1024 * 1024 * 1024;  ///< 4 GB SLC PCM
+  /// Independent channels, each with its own controller, bank array and
+  /// content store. 1 = the paper's single-channel organization.
+  u32 channels = 1;
+  /// Which line-index bits route to a channel (ignored for channels == 1).
+  ChannelInterleave channel_interleave = ChannelInterleave::kLine;
 
   /// Data units per cache line (8 for 64 B lines with 64-bit units).
   u32 units_per_line() const {
@@ -63,14 +77,18 @@ struct GeometryParams {
   /// Write-unit width per bank in bits (chips x per-chip width).
   u32 bank_write_bits() const { return chips_per_bank * chip_write_bits; }
 
-  bool valid() const {
-    return chips_per_bank > 0 && chip_write_bits > 0 &&
-           data_unit_bits > 0 && data_unit_bits <= 64 &&
-           is_pow2(data_unit_bits) && cache_line_bytes >= 8 &&
-           (cache_line_bytes * 8) % data_unit_bits == 0 && banks > 0 &&
-           is_pow2(banks) && ranks > 0 && subarrays_per_bank > 0 &&
-           is_pow2(subarrays_per_bank);
+  /// Lines per channel (kRow interleave partitions capacity contiguously).
+  u64 lines_per_channel() const {
+    const u32 c = channels == 0 ? 1 : channels;
+    return capacity_bytes / c / cache_line_bytes;
   }
+
+  /// Empty when the geometry is consistent; otherwise a human-readable
+  /// description of the first violated constraint (the actionable
+  /// counterpart of valid(), surfaced through config/CLI errors).
+  std::string error() const;
+
+  bool valid() const { return error().empty(); }
 };
 
 /// Per-bit programming energy (picojoules). Values follow the commonly

@@ -1,0 +1,93 @@
+#include "tw/sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "tw/common/parallel.hpp"
+
+namespace tw::sim {
+
+void ShardedEngine::run_domain(u32 di, Tick limit) {
+  Domain& d = domains_[di];
+  // Install the domain's ring for the duration of the quantum so records
+  // land deterministically regardless of which pool thread runs it. An
+  // unbound domain emits nothing (ring == nullptr gates every category).
+  const trace::ThreadState saved = trace::g_tls;
+  trace::g_tls.ring = d.ring;
+  trace::g_tls.mask = d.ring != nullptr ? d.mask : 0;
+  d.sim->run(limit);
+  trace::g_tls = saved;
+}
+
+void ShardedEngine::fire_message(u32 dst, u32 slot) {
+  Domain& d = domains_[dst];
+  Message msg = std::move(d.inbox[slot]);
+  d.free_slots.push_back(slot);
+  msg();
+}
+
+void ShardedEngine::deliver(Pending& p) {
+  Domain& d = domains_[p.dst];
+  u32 slot;
+  if (!d.free_slots.empty()) {
+    slot = d.free_slots.back();
+    d.free_slots.pop_back();
+    d.inbox[slot] = std::move(p.msg);
+  } else {
+    slot = static_cast<u32>(d.inbox.size());
+    d.inbox.push_back(std::move(p.msg));
+  }
+  ShardedEngine* self = this;
+  const u32 dst = p.dst;
+  d.sim->schedule_at(
+      p.fire, [self, dst, slot] { self->fire_message(dst, slot); }, p.prio);
+}
+
+u64 ShardedEngine::run(Tick limit) {
+  const u64 before = executed_total();
+  const u32 n = static_cast<u32>(domains_.size());
+  for (;;) {
+    // Deliver messages posted from outside any window (e.g. front-side
+    // enqueues made between run() calls) so the peek below can see them.
+    // Mid-loop this is a no-op: phase 3 already drained every outbox.
+    for (u32 s = 0; s < n; ++s) {
+      for (Pending& p : domains_[s].outbox) deliver(p);
+      domains_[s].outbox.clear();
+    }
+    // Fast-forward to the earliest pending event anywhere, then run the
+    // aligned window containing it. Idle stretches cost one peek, not a
+    // quantum-by-quantum crawl.
+    Tick next = kTickMax;
+    for (const auto& d : domains_) {
+      next = std::min(next, d.sim->next_tick());
+    }
+    if (next == kTickMax || next > limit) break;
+    const Tick wstart = next / quantum_ * quantum_;
+    Tick wend = wstart + quantum_ - 1;
+    if (wend > limit) wend = limit;
+
+    // Phase 1: the front domain, serially on the calling thread.
+    run_domain(0, wend);
+    // Phase 2: channel domains, concurrently. The pool barrier inside
+    // parallel_for orders these writes before the drain below.
+    if (n > 1) {
+      parallel_for(
+          n - 1, [&](std::size_t i) { run_domain(static_cast<u32>(i) + 1, wend); },
+          threads_);
+    }
+    // Phase 3: serial barrier. Outboxes drain in fixed source order, so
+    // destination sequence numbers are identical at every thread count.
+    // Every fire tick is >= wstart + quantum > wend, hence >= dst.now().
+    for (u32 s = 0; s < n; ++s) {
+      for (Pending& p : domains_[s].outbox) deliver(p);
+      domains_[s].outbox.clear();
+    }
+  }
+  // Advance every clock to the limit (fires nothing: all remaining
+  // events are strictly later).
+  if (limit != kTickMax) {
+    for (u32 d = 0; d < n; ++d) run_domain(d, limit);
+  }
+  return executed_total() - before;
+}
+
+}  // namespace tw::sim

@@ -146,6 +146,29 @@ Simulator::EventNode* Simulator::pop_earliest(Tick limit) {
   }
 }
 
+Tick Simulator::next_tick() const {
+  Tick best = far_min_tick_;
+  const u64 scan_day = std::max({min_day_hint_, day_of(now_),
+                                 wheel_base_day_});
+  const u64 end_day = wheel_base_day_ + kNumBuckets;
+  if (scan_day < end_day) {
+    const u32 span = static_cast<u32>(end_day - scan_day);
+    const u32 off =
+        find_set_offset(static_cast<u32>(scan_day) & kBucketMask, span);
+    if (off != span) {
+      const u32 b = static_cast<u32>(scan_day + off) & kBucketMask;
+      // All nodes in the bucket share a day; the wheel event minimum is
+      // this bucket's tick minimum (earlier buckets are empty).
+      Tick bucket_min = kTickMax;
+      for (const EventNode* n = buckets_[b]; n != nullptr; n = n->next) {
+        bucket_min = std::min(bucket_min, n->tick);
+      }
+      best = std::min(best, bucket_min);
+    }
+  }
+  return best;
+}
+
 void Simulator::fire(EventNode* n) {
   TW_ASSERT(n->tick >= now_);
   now_ = n->tick;

@@ -91,6 +91,11 @@ class Simulator {
   /// Number of pending events.
   std::size_t pending() const { return pending_; }
 
+  /// Tick of the earliest pending event without executing it, or
+  /// kTickMax when the queue is empty. Used by the sharded engine to
+  /// fast-forward over idle windows.
+  Tick next_tick() const;
+
   /// Total events executed so far.
   u64 executed() const { return executed_; }
 

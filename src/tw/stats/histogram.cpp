@@ -1,5 +1,6 @@
 #include "tw/stats/histogram.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -80,6 +81,21 @@ std::string Log2Histogram::summary() const {
          " p95=" + fixed(percentile(0.95), 1) +
          " p99=" + fixed(percentile(0.99), 1) +
          " max=" + std::to_string(max());
+}
+
+void Log2Histogram::merge(const Log2Histogram& o) {
+  TW_EXPECTS(sub_ == o.sub_);
+  if (o.total_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  if (total_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  total_ += o.total_;
+  sum_ += o.sum_;
 }
 
 void Log2Histogram::reset() {

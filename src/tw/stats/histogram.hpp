@@ -32,6 +32,10 @@ class Log2Histogram {
   /// Render a compact textual summary (count/mean/p50/p95/p99/max).
   std::string summary() const;
 
+  /// Merge another histogram with the same sub-bucket geometry
+  /// (parallel reduction across per-channel registries).
+  void merge(const Log2Histogram& o);
+
   void reset();
 
  private:

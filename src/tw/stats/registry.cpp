@@ -36,6 +36,12 @@ void Registry::report(std::ostream& out, const std::string& prefix) const {
   }
 }
 
+void Registry::merge_from(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counter(name).inc(c->value());
+  for (const auto& [name, a] : o.accs_) accumulator(name).merge(*a);
+  for (const auto& [name, h] : o.hists_) histogram(name).merge(*h);
+}
+
 void Registry::reset() {
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, a] : accs_) a->reset();

@@ -30,6 +30,12 @@ class Registry {
   /// Print all stats, sorted by name, as "name value" lines.
   void report(std::ostream& out, const std::string& prefix = "") const;
 
+  /// Merge another registry into this one: counters add, accumulators
+  /// combine (Chan et al.), histograms sum buckets. Stats present only in
+  /// `o` are created here. Used to fold per-channel registries into the
+  /// main registry in deterministic channel order.
+  void merge_from(const Registry& o);
+
   /// Reset every registered stat to zero.
   void reset();
 

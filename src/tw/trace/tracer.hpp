@@ -52,6 +52,13 @@ class Tracer {
       g_tls.ring = &t.ring_for_current_thread();
       g_tls.mask = t.mask_;
     }
+    /// Attach the calling thread to a pre-created ring (see make_ring).
+    /// The sharded engine uses this to bind each simulation domain to a
+    /// deterministic ring regardless of which pool thread runs it.
+    Attach(Tracer& t, TraceRing& ring) : saved_(g_tls) {
+      g_tls.ring = &ring;
+      g_tls.mask = t.mask_;
+    }
     ~Attach() { g_tls = saved_; }
     Attach(const Attach&) = delete;
     Attach& operator=(const Attach&) = delete;
@@ -59,6 +66,11 @@ class Tracer {
    private:
     ThreadState saved_;
   };
+
+  /// Create (and own) a ring explicitly. Rings created this way are
+  /// collected in creation order, so callers that pre-create one ring per
+  /// simulation domain get a thread-count-independent record stream.
+  TraceRing& make_ring() { return ring_for_current_thread(); }
 
   /// All surviving records from every ring, merged and stably sorted by
   /// tick. Call only when no attached thread is emitting.

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tw/harness/experiment.hpp"
+#include "tw/pcm/params.hpp"
 #include "tw/workload/profiles.hpp"
 
 namespace tw {
@@ -124,21 +125,12 @@ std::map<std::string, double> read_golden() {
   return flat;
 }
 
-TEST(GoldenFigures, KeyScalarsMatchCommittedBaseline) {
-  const auto measured = run_golden_matrix();
-  ASSERT_FALSE(measured.empty());
-
-  if (std::getenv("TW_REGEN_GOLDEN") != nullptr) {
-    write_golden(measured);
-    GTEST_SKIP() << "golden baseline regenerated at " << kGoldenFile;
-  }
-
-  const auto golden = read_golden();
-  ASSERT_FALSE(golden.empty())
-      << "missing " << kGoldenFile
-      << " — regenerate with TW_REGEN_GOLDEN=1";
+/// Diff one measured matrix against the committed baseline (integer keys
+/// exact, doubles at 1e-9 relative). `tol` widens the double comparison
+/// for callers that assert exact bit-identity (tol = 0).
+void expect_matches_golden(const std::map<std::string, double>& measured,
+                           const std::map<std::string, double>& golden) {
   ASSERT_EQ(measured.size(), golden.size());
-
   for (const auto& [key, want] : golden) {
     const auto it = measured.find(key);
     ASSERT_NE(it, measured.end()) << "missing scalar " << key;
@@ -152,6 +144,63 @@ TEST(GoldenFigures, KeyScalarsMatchCommittedBaseline) {
     }
   }
 }
+
+TEST(GoldenFigures, KeyScalarsMatchCommittedBaseline) {
+  const auto measured = run_golden_matrix();
+  ASSERT_FALSE(measured.empty());
+
+  if (std::getenv("TW_REGEN_GOLDEN") != nullptr) {
+    write_golden(measured);
+    GTEST_SKIP() << "golden baseline regenerated at " << kGoldenFile;
+  }
+
+  const auto golden = read_golden();
+  ASSERT_FALSE(golden.empty())
+      << "missing " << kGoldenFile
+      << " — regenerate with TW_REGEN_GOLDEN=1";
+  expect_matches_golden(measured, golden);
+}
+
+/// channels=1 must be a pure passthrough of the single-controller path:
+/// running the golden matrix with the channel topology explicitly
+/// configured (any interleave mode — it is ignored at one channel) has
+/// to reproduce the committed goldens scalar for scalar.
+class GoldenChannelsOne
+    : public ::testing::TestWithParam<pcm::ChannelInterleave> {};
+
+TEST_P(GoldenChannelsOne, BitIdenticalToSingleControllerPath) {
+  if (std::getenv("TW_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  const auto golden = read_golden();
+  ASSERT_FALSE(golden.empty())
+      << "missing " << kGoldenFile
+      << " — regenerate with TW_REGEN_GOLDEN=1";
+
+  std::map<std::string, double> measured;
+  for (const auto& wname : golden_workloads()) {
+    const auto& w = workload::profile_by_name(wname);
+    for (const auto kind : golden_schemes()) {
+      harness::SystemConfig cfg = golden_config();
+      cfg.pcm.geometry.channels = 1;
+      cfg.pcm.geometry.channel_interleave = GetParam();
+      const auto m = harness::run_system(cfg, w, kind);
+      EXPECT_TRUE(m.completed) << wname;
+      collect(m, wname + "." + std::string(schemes::scheme_name(kind)),
+              measured);
+    }
+  }
+  expect_matches_golden(measured, golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterleaves, GoldenChannelsOne,
+                         ::testing::Values(pcm::ChannelInterleave::kLine,
+                                           pcm::ChannelInterleave::kBank,
+                                           pcm::ChannelInterleave::kRow),
+                         [](const auto& param_info) {
+                           return std::string(pcm::channel_interleave_name(
+                               param_info.param));
+                         });
 
 TEST(GoldenFigures, TetrisRanksFirstOnIpc) {
   // The fig13 headline, on the same reduced matrix: Tetris's IPC geomean
