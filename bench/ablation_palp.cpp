@@ -1,0 +1,155 @@
+// Ablation: partition-level parallelism (PALP, paper ref [15] spirit)
+// composed with Tetris packing. Sweeps partitions/bank x scheme x
+// read-mix and reports read latency plus the PALP overlap counters.
+//
+// Two simulated (machine-independent, deterministic) gates ride in the
+// --json baseline:
+//
+//   * read_latency_speedup: canneal (read-heavy) Tetris read latency at
+//     1 partition / PALP off divided by the same cell at 4 partitions /
+//     PALP on. Required > 1.0 — overlapping reads with in-flight SET
+//     bursts must help a read-heavy mix.
+//   * tetris_ipc_ratio: vips (write-heavier) Tetris IPC with PALP on at
+//     4 partitions over PALP off at 4 partitions. Required >= 0.99 —
+//     read-while-write must not regress write throughput.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace tw;
+
+namespace {
+
+struct Cell {
+  double read_ns = 0.0;
+  double ipc = 0.0;
+  u64 ovl_reads = 0;
+  u64 pump_stalls = 0;
+  u64 events = 0;
+};
+
+Cell run_cell(const bench::Options& o, const workload::WorkloadProfile& p,
+              schemes::SchemeKind kind, u32 partitions, bool palp) {
+  harness::SystemConfig cfg = bench::system_config(p, o);
+  cfg.pcm.geometry.subarrays_per_bank = partitions;
+  cfg.controller.palp.enabled = palp;
+  const harness::RunMetrics m = harness::run_system(cfg, p, kind);
+  return {m.read_latency_ns, m.ipc, m.palp_overlapped_reads,
+          m.palp_pump_stalls, m.sim_events};
+}
+
+void write_palp_json(const std::string& path, const bench::Options& o,
+                     double speedup, double ipc_ratio, double wall_ms,
+                     u64 events) {
+  std::ofstream out(path);
+  const double secs = wall_ms / 1000.0;
+  out << "{\n"
+      << "  \"bench\": \"ablation_palp\",\n"
+      << "  \"config\": \"" << (o.quick ? "quick" : "full")
+      << " ops=" << o.target_ops_per_core << " seed=" << o.seed
+      << " workloads=canneal/vips scheme=tetris partitions=1/2/4/8\",\n"
+      << "  \"wall_ms\": " << fixed(wall_ms, 2) << ",\n"
+      << "  \"events_per_sec\": "
+      << fixed(secs > 0.0 ? static_cast<double>(events) / secs : 0.0, 1)
+      << ",\n"
+      << "  \"read_latency_speedup\": " << fixed(speedup, 3) << ",\n"
+      << "  \"tetris_ipc_ratio\": " << fixed(ipc_ratio, 3) << "\n"
+      << "}\n";
+  std::printf("(benchmark baseline written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options o = bench::Options::parse(argc, argv);
+
+  std::cout << "Ablation: partition-level parallelism (PALP) x Tetris\n"
+            << "=====================================================\n"
+            << "(read-while-write inside a bank; canneal = read-heavy, "
+               "vips = write-heavier)\n\n";
+
+  const auto& canneal = workload::profile_by_name("canneal");
+  const auto& vips = workload::profile_by_name("vips");
+  const std::vector<schemes::SchemeKind> kinds = {
+      schemes::SchemeKind::kDcw, schemes::SchemeKind::kTetris};
+
+  const bench::WallTimer timer;
+  u64 events = 0;
+
+  for (const auto* profile : {&canneal, &vips}) {
+    std::cout << profile->name << " read latency (ns), PALP off -> on:\n";
+    AsciiTable t;
+    t.set_header({"partitions", "dcw off", "dcw on", "tetris off",
+                  "tetris on", "ovl reads", "pump stalls"});
+    for (const u32 parts : {1u, 2u, 4u, 8u}) {
+      std::vector<std::string> row = {std::to_string(parts)};
+      Cell tetris_on;
+      for (const auto kind : kinds) {
+        const Cell off = run_cell(o, *profile, kind, parts, false);
+        const Cell on = run_cell(o, *profile, kind, parts, true);
+        events += off.events + on.events;
+        row.push_back(fixed(off.read_ns, 0));
+        row.push_back(fixed(on.read_ns, 0));
+        if (kind == schemes::SchemeKind::kTetris) tetris_on = on;
+      }
+      // The counter columns are the tetris / PALP-on cell's.
+      row.push_back(std::to_string(tetris_on.ovl_reads));
+      row.push_back(std::to_string(tetris_on.pump_stalls));
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Gate cells (re-run: cheap relative to the sweep, keeps the gate
+  // independent of table-iteration order).
+  const Cell base = run_cell(o, canneal, schemes::SchemeKind::kTetris, 1,
+                             false);
+  const Cell palp4 = run_cell(o, canneal, schemes::SchemeKind::kTetris, 4,
+                              true);
+  const Cell vips_off = run_cell(o, vips, schemes::SchemeKind::kTetris, 4,
+                                 false);
+  const Cell vips_on = run_cell(o, vips, schemes::SchemeKind::kTetris, 4,
+                                true);
+  const double speedup =
+      palp4.read_ns > 0.0 ? base.read_ns / palp4.read_ns : 0.0;
+  const double ipc_ratio =
+      vips_off.ipc > 0.0 ? vips_on.ipc / vips_off.ipc : 0.0;
+  const double wall_ms = timer.elapsed_ms();
+
+  std::printf("canneal tetris read-latency speedup at 4 partitions: %.3fx "
+              "(gate: > 1.0)\n",
+              speedup);
+  std::printf("vips tetris IPC ratio PALP on/off at 4 partitions: %.3f "
+              "(gate: >= 0.99)\n",
+              ipc_ratio);
+
+  if (!o.json_path.empty()) {
+    write_palp_json(o.json_path, o, speedup, ipc_ratio, wall_ms, events);
+  }
+
+  bool ok = true;
+  if (speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "ablation_palp: FAIL — PALP read-latency speedup %.3fx "
+                 "(> 1.0 required on the read-heavy mix)\n",
+                 speedup);
+    ok = false;
+  }
+  if (ipc_ratio < 0.99) {
+    std::fprintf(stderr,
+                 "ablation_palp: FAIL — Tetris IPC ratio %.3f with PALP on "
+                 "(>= 0.99 required: no write-throughput regression)\n",
+                 ipc_ratio);
+    ok = false;
+  }
+  std::cout << "\nTakeaway: partitions give reads an escape hatch *during* "
+               "a long SET burst\ninstead of just around it — the pump "
+               "budget, not the bank, is the shared\nresource. Tetris "
+               "shrinks the bursts; PALP overlaps what remains. The two\n"
+               "compose, and the win grows with the read fraction.\n";
+  return ok ? 0 : 1;
+}

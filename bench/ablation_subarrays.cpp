@@ -37,6 +37,27 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  // PALP overlap counters: the same sweep with partition-level
+  // parallelism on. overlapped reads = reads issued while the bank's
+  // charge pump was loaded; pump stalls = admissions the pump budget
+  // deferred. At 1 subarray PALP degenerates to the baseline (all zero).
+  std::cout << "\nPALP overlap counters (tetris, --palp semantics)\n";
+  AsciiTable pt;
+  pt.set_header({"subarrays", "read ns", "ovl reads", "pump stalls",
+                 "wr overlaps"});
+  for (const u32 subarrays : {1u, 2u, 4u, 8u}) {
+    harness::SystemConfig cfg = bench::system_config(profile, o);
+    cfg.pcm.geometry.subarrays_per_bank = subarrays;
+    cfg.controller.palp.enabled = true;
+    const harness::RunMetrics m =
+        harness::run_system(cfg, profile, schemes::SchemeKind::kTetris);
+    pt.add_row({std::to_string(subarrays), fixed(m.read_latency_ns, 0),
+                std::to_string(m.palp_overlapped_reads),
+                std::to_string(m.palp_pump_stalls),
+                std::to_string(m.palp_write_overlaps)});
+  }
+  pt.print(std::cout);
+
   std::cout << "\nTakeaway: subarrays and Tetris attack the same symptom "
                "from different\nsides — subarrays move reads around the "
                "writes, Tetris shrinks the\nwrites. They compose: the "

@@ -35,6 +35,10 @@ struct Options {
   u32 trace_categories = trace::kAllCategories;
   fault::FaultProfile fault_profile = fault::FaultProfile::kNone;
   u32 batch_lines = 0;  ///< batch.max_lines override (0 = leave default)
+  u32 subarrays = 0;    ///< subarrays/bank override (0 = leave default)
+  bool palp = false;    ///< partition-level parallelism (PALP)
+  u32 palp_ways = 2;    ///< concurrent partition writes per pump
+  u32 palp_rww = 2;     ///< read-after-write-current read cap
   u32 channels = 1;     ///< memory channels (power of two)
   pcm::ChannelInterleave interleave = pcm::ChannelInterleave::kLine;
   u32 sim_threads = 0;  ///< pool-thread cap for the channel phase (0 = all)
@@ -69,6 +73,24 @@ struct Options {
       } else if (starts_with(arg, "--batch-lines=")) {
         o.batch_lines = static_cast<u32>(
             std::strtoul(value("--batch-lines="), nullptr, 10));
+      } else if (starts_with(arg, "--subarrays=")) {
+        const u64 n = std::strtoull(value("--subarrays="), nullptr, 10);
+        if (n == 0 || (n & (n - 1)) != 0) {
+          std::cerr << "--subarrays must be a power of two >= 1 (got '"
+                    << value("--subarrays=")
+                    << "'); the row decoder extracts log2(subarrays) "
+                       "address bits\n";
+          std::exit(2);
+        }
+        o.subarrays = static_cast<u32>(n);
+      } else if (arg == "--palp") {
+        o.palp = true;
+      } else if (starts_with(arg, "--palp-ways=")) {
+        o.palp_ways = static_cast<u32>(
+            std::strtoul(value("--palp-ways="), nullptr, 10));
+      } else if (starts_with(arg, "--palp-rww=")) {
+        o.palp_rww = static_cast<u32>(
+            std::strtoul(value("--palp-rww="), nullptr, 10));
       } else if (starts_with(arg, "--channels=")) {
         const u64 n = std::strtoull(value("--channels="), nullptr, 10);
         if (n == 0 || (n & (n - 1)) != 0) {
@@ -112,6 +134,7 @@ struct Options {
         std::cout << "flags: --quick --ops=N --seed=N --threads=N "
                      "--channels=N --interleave=line|bank|row "
                      "--sim-threads=N "
+                     "--subarrays=N --palp --palp-ways=N --palp-rww=N "
                      "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
                      "--trace-metrics=PATH --trace-categories=LIST "
                      "--fault-profile=none|light|heavy|stuck-bank\n";
@@ -181,6 +204,10 @@ inline harness::SystemConfig system_config(
   cfg.seed = o.seed;
   cfg.fault = fault::profile_config(o.fault_profile);
   cfg.batch.max_lines = o.batch_lines;
+  if (o.subarrays > 0) cfg.pcm.geometry.subarrays_per_bank = o.subarrays;
+  cfg.controller.palp.enabled = o.palp;
+  cfg.controller.palp.write_ways = o.palp_ways;
+  cfg.controller.palp.max_rww_reads = o.palp_rww;
   cfg.pcm.geometry.channels = o.channels;
   cfg.pcm.geometry.channel_interleave = o.interleave;
   cfg.sim_threads = o.sim_threads;

@@ -36,6 +36,11 @@ def load_metric(path, metric):
     return value, data
 
 
+def fmt(value):
+    """Ratio-style metrics need decimals; throughput counts don't."""
+    return f"{value:.3f}" if abs(value) < 100 else f"{value:.0f}"
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", help="committed BENCH_*.json")
@@ -53,8 +58,8 @@ def main():
 
     floor = base * (1.0 - args.max_regression / 100.0)
     delta_pct = (now / base - 1.0) * 100.0
-    print(f"{label}: {args.metric} {now:.0f} vs baseline {base:.0f} "
-          f"({delta_pct:+.1f}%, floor {floor:.0f})")
+    print(f"{label}: {args.metric} {fmt(now)} vs baseline {fmt(base)} "
+          f"({delta_pct:+.1f}%, floor {fmt(floor)})")
     if now < floor:
         print(f"{label}: REGRESSION — {args.metric} dropped "
               f"{-delta_pct:.1f}% (> {args.max_regression:.0f}% allowed)",

@@ -105,4 +105,25 @@ BatchPackOutcome BatchPacker::pack_lines(
   return out;
 }
 
+BatchPackOutcome BatchPacker::pack_lines(
+    std::span<pcm::LineBuf* const> lines,
+    std::span<const pcm::LogicalLine> datas, const PackerConfig& pcfg,
+    std::span<const u32> partitions) const {
+  TW_EXPECTS(partitions.size() == lines.size());
+  BatchPackOutcome out = pack_lines(lines, datas, pcfg);
+  // Partitions share the bank's pump, so the schedule itself is
+  // placement-independent; only the spread diagnostic is new.
+  u64 seen = 0;
+  for (const u32 p : partitions) seen |= u64{1} << (p & 63);
+  out.partition_spread = popcount(seen);
+  if (trace::on<trace::Category::kPalp>()) {
+    const u32 ptrack = trace::track_id(
+        trace::Track::kPalp, trace::track_index(trace::g_tls.track));
+    trace::emit_instant(trace::Category::kPalp, trace::Op::kPalpBatchSpread,
+                        ptrack, trace::g_tls.base, out.lines,
+                        out.partition_spread);
+  }
+  return out;
+}
+
 }  // namespace tw::core

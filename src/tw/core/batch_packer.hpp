@@ -35,6 +35,11 @@ struct BatchPackOutcome {
   std::vector<UnitCounts> counts;      ///< concatenated, unit ids offset
   PackResult pack;                     ///< one schedule over all lines
   u32 lines = 0;
+  /// Distinct bank partitions the batch's lines land in (0 when the
+  /// caller supplied no placement): the PALP spread the controller's
+  /// gather achieved — K lines in K partitions leave the most sense amps
+  /// free for overlapped reads.
+  u32 partition_spread = 0;
 
   /// Budget utilization of the packed schedule (batch occupancy).
   double occupancy(u32 budget) const {
@@ -61,6 +66,16 @@ class BatchPacker {
   BatchPackOutcome pack_lines(std::span<pcm::LineBuf* const> lines,
                               std::span<const pcm::LogicalLine> datas,
                               const PackerConfig& pcfg) const;
+
+  /// Partition-aware variant (PALP): `partitions[i]` is the bank-local
+  /// partition line i programs. Packing is identical — partitions share
+  /// one charge pump, so the budget is bank-global — but the outcome
+  /// records the distinct-partition spread and a kPalpBatchSpread trace
+  /// instant when palp tracing is live.
+  BatchPackOutcome pack_lines(std::span<pcm::LineBuf* const> lines,
+                              std::span<const pcm::LogicalLine> datas,
+                              const PackerConfig& pcfg,
+                              std::span<const u32> partitions) const;
 
  private:
   const pcm::PcmConfig& cfg_;

@@ -121,10 +121,28 @@ schemes::BatchServicePlan TetrisScheme::plan_write_batch(
   TW_EXPECTS(lines.size() == datas.size());
   TW_EXPECTS(!lines.empty());
   const PackerConfig pcfg = make_packer_config();
-
   const BatchPackOutcome joint =
       BatchPacker(cfg_, batch_packer_options())
           .pack_lines(lines, datas, pcfg);
+  return finish_batch(joint, lines, pcfg);
+}
+
+schemes::BatchServicePlan TetrisScheme::plan_write_batch(
+    std::span<pcm::LineBuf*> lines,
+    std::span<const pcm::LogicalLine> datas,
+    std::span<const u32> partitions) const {
+  TW_EXPECTS(lines.size() == datas.size());
+  TW_EXPECTS(!lines.empty());
+  const PackerConfig pcfg = make_packer_config();
+  const BatchPackOutcome joint =
+      BatchPacker(cfg_, batch_packer_options())
+          .pack_lines(lines, datas, pcfg, partitions);
+  return finish_batch(joint, lines, pcfg);
+}
+
+schemes::BatchServicePlan TetrisScheme::finish_batch(
+    const BatchPackOutcome& joint, std::span<pcm::LineBuf*> lines,
+    const PackerConfig& pcfg) const {
   if (trace::on<trace::Category::kFsm>()) {
     (void)execute_fsms(joint.pack, pcfg, cfg_.timing);
   }

@@ -68,6 +68,14 @@ class TetrisScheme final : public schemes::WriteScheme {
       std::span<pcm::LineBuf*> lines,
       std::span<const pcm::LogicalLine> datas) const override;
 
+  /// Partition-aware batch (PALP): identical schedule — partitions share
+  /// the bank pump — but the joint pack records the distinct-partition
+  /// spread the controller's gather achieved.
+  schemes::BatchServicePlan plan_write_batch(
+      std::span<pcm::LineBuf*> lines,
+      std::span<const pcm::LogicalLine> datas,
+      std::span<const u32> partitions) const override;
+
   /// Run only the read + analysis stages (no state mutation).
   TetrisAnalysis analyze(const pcm::LineBuf& line,
                          const pcm::LogicalLine& next) const;
@@ -85,6 +93,12 @@ class TetrisScheme final : public schemes::WriteScheme {
  private:
   PackerConfig make_packer_config() const;
   BatchPackerOptions batch_packer_options() const;
+
+  /// Shared tail of both batch overloads: price the joint schedule and
+  /// apply per-line plans.
+  schemes::BatchServicePlan finish_batch(const BatchPackOutcome& joint,
+                                         std::span<pcm::LineBuf*> lines,
+                                         const PackerConfig& pcfg) const;
 
   /// Packing inputs for one line's read-stage result, with the non-GCP
   /// worst-chip scaling applied and unit ids offset by `unit_base`

@@ -79,6 +79,18 @@ class FaultModel final : public pcm::CellFaultHook {
            now % cfg_.brownout_period < cfg_.brownout_duration;
   }
 
+  /// PALP concurrency allowance at `now`: brown-out shrinks the nominal
+  /// concurrent-partition (or read-while-write) allowance by the same
+  /// factor that shrinks packing budgets, floored at `floor_allow`
+  /// (1 keeps writes progressing serially; 0 lets reads wait the
+  /// brown-out out entirely).
+  u32 palp_allowance(u32 nominal, Tick now, u32 floor_allow) const {
+    const double f = budget_factor(now);
+    if (f >= 1.0) return nominal;
+    const u32 shrunk = static_cast<u32>(static_cast<double>(nominal) * f);
+    return shrunk > floor_allow ? shrunk : floor_allow;
+  }
+
   // -- bit level (PcmArray hook) ------------------------------------------
 
   /// pcm::CellFaultHook: fail this pulse? Pure in (bit, value, pulse,

@@ -158,6 +158,19 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.controller.write_batch = static_cast<u32>(to_u64(v));
        }},
+      // -- partition-level parallelism (PALP) -------------------------------
+      {"palp.enabled",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.palp.enabled = to_bool(v);
+       }},
+      {"palp.write_ways",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.palp.write_ways = static_cast<u32>(to_u64(v));
+       }},
+      {"palp.max_rww_reads",
+       [](SystemConfig& c, const std::string& v) {
+         c.controller.palp.max_rww_reads = static_cast<u32>(to_u64(v));
+       }},
       // -- multi-line batch packing ---------------------------------------
       {"batch.max_lines",
        [](SystemConfig& c, const std::string& v) {
@@ -363,6 +376,13 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
   out << "controller.gap_region_lines = "
       << cfg.controller.start_gap.region_lines << "\n";
   out << "controller.write_batch = " << cfg.controller.write_batch << "\n";
+  if (cfg.controller.palp.enabled) {
+    // Only emitted when PALP is on, so PALP-off dumps are unchanged.
+    out << "palp.enabled = true\n";
+    out << "palp.write_ways = " << cfg.controller.palp.write_ways << "\n";
+    out << "palp.max_rww_reads = " << cfg.controller.palp.max_rww_reads
+        << "\n";
+  }
   out << "batch.max_lines = " << cfg.batch.max_lines << "\n";
   out << "core.clock_ps = " << cfg.core.clock_period << "\n";
   out << "core.peak_ipc = " << cfg.core.peak_ipc << "\n";

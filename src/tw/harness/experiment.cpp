@@ -184,6 +184,25 @@ void add_fault_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
                  epoch_delta("mem.brownout_writes"));
 }
 
+/// Per-epoch PALP gauges; only registered when partition-level
+/// parallelism is on so PALP-off traces keep their exact column set.
+void add_palp_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
+  const auto epoch_delta = [&reg](const char* name) {
+    return [&reg, name, prev = 0.0]() mutable {
+      const double t = static_cast<double>(reg.counter(name).value());
+      const double d = t - prev;
+      prev = t;
+      return d;
+    };
+  };
+  snap.add_gauge("palp_overlapped_reads_epoch",
+                 epoch_delta("mem.palp_overlapped_reads"));
+  snap.add_gauge("palp_pump_stalls_epoch",
+                 epoch_delta("mem.palp_pump_stalls"));
+  snap.add_gauge("palp_write_overlaps_epoch",
+                 epoch_delta("mem.palp_write_overlaps"));
+}
+
 }  // namespace
 
 u64 config_hash(const SystemConfig& cfg) {
@@ -227,6 +246,9 @@ u64 config_hash(const SystemConfig& cfg) {
   h = mix(h, cfg.controller.start_gap.region_lines);
   h = mix(h, cfg.controller.start_gap.gap_write_interval);
   h = mix(h, cfg.controller.write_batch);
+  h = mix(h, (cfg.controller.palp.enabled ? 1 : 0));
+  h = mix(h, cfg.controller.palp.write_ways);
+  h = mix(h, cfg.controller.palp.max_rww_reads);
   h = mix(h, cfg.batch.max_lines);
   // Core model.
   h = mix(h, cfg.core.clock_period);
@@ -308,6 +330,9 @@ RunMetrics run_system(const SystemConfig& cfg,
     }
     if (cfg.fault.enabled() && channels == 1) {
       add_fault_gauges(*snapshotter, reg);
+    }
+    if (channels == 1 && msys.channel(0).palp_active()) {
+      add_palp_gauges(*snapshotter, reg);
     }
     snapshotter->start();
   }
@@ -409,6 +434,9 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.failed_lines = reg.counter("mem.failed_lines").value();
   m.brownout_writes = reg.counter("mem.brownout_writes").value();
   m.stuck_remaps = reg.counter("mem.stuck_remaps").value();
+  m.palp_overlapped_reads = reg.counter("mem.palp_overlapped_reads").value();
+  m.palp_pump_stalls = reg.counter("mem.palp_pump_stalls").value();
+  m.palp_write_overlaps = reg.counter("mem.palp_write_overlaps").value();
   return m;
 }
 

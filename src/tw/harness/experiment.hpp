@@ -115,6 +115,10 @@ struct RunMetrics {
   u64 failed_lines = 0;     ///< lines still failed after the retry ladder
   u64 brownout_writes = 0;  ///< writes planned under a shrunken budget
   u64 stuck_remaps = 0;     ///< services redirected off a stuck bank
+  // Partition-level parallelism (zero when PALP was off).
+  u64 palp_overlapped_reads = 0;  ///< reads issued against a loaded pump
+  u64 palp_pump_stalls = 0;       ///< admissions deferred by the pump budget
+  u64 palp_write_overlaps = 0;    ///< writes begun while another was in flight
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

@@ -33,6 +33,14 @@ constexpr auto kFaultCat = trace::Category::kFault;
 constexpr u32 fault_track(u32 base) {
   return trace::track_id(trace::Track::kFault, base);
 }
+// PALP emissions (partition occupancy spans, overlapped reads, pump
+// stalls) live in their own category so partition studies can be traced
+// without the full controller firehose. All emission sites are gated on
+// palp_on_, keeping PALP-off trace bytes identical to before.
+constexpr auto kPalpCat = trace::Category::kPalp;
+constexpr u32 palp_track(u32 base, u32 bank) {
+  return trace::track_id(trace::Track::kPalp, base + bank);
+}
 }  // namespace
 
 Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
@@ -50,6 +58,7 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       store_(pcm_cfg.geometry.units_per_line(), data_seed, ones_bias),
       banks_(map_.total_banks()),
       subarrays_(map_.total_subarrays()),
+      pumps_(map_.total_banks()),
       energy_(pcm_cfg.energy),
       read_by_sub_(map_.total_subarrays()),
       write_by_bank_(map_.total_banks()),
@@ -63,6 +72,8 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       active_write_(map_.total_banks()),
       paused_write_(map_.total_banks()),
       bank_epoch_(map_.total_banks(), 0),
+      palp_active_(map_.total_banks()),
+      palp_on_(cfg.palp.enabled && pcm_cfg.geometry.subarrays_per_bank > 1),
       c_reads_(registry.counter("mem.reads")),
       c_writes_(registry.counter("mem.writes")),
       c_forwarded_(registry.counter("mem.reads_forwarded")),
@@ -79,6 +90,9 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       c_failed_lines_(registry.counter("mem.failed_lines")),
       c_brownout_writes_(registry.counter("mem.brownout_writes")),
       c_stuck_remaps_(registry.counter("mem.stuck_remaps")),
+      c_palp_overlap_reads_(registry.counter("mem.palp_overlapped_reads")),
+      c_palp_pump_stalls_(registry.counter("mem.palp_pump_stalls")),
+      c_palp_write_overlaps_(registry.counter("mem.palp_write_overlaps")),
       a_read_latency_(registry.accumulator("mem.read_latency_ns")),
       a_write_latency_(registry.accumulator("mem.write_latency_ns")),
       a_write_units_(registry.accumulator("mem.write_units")),
@@ -86,11 +100,15 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       a_power_util_(registry.accumulator("mem.power_utilization")),
       a_batch_lines_(registry.accumulator("mem.batch_lines")),
       a_batch_occupancy_(registry.accumulator("mem.batch_occupancy")),
+      a_palp_batch_spread_(registry.accumulator("mem.palp_batch_spread")),
       h_read_latency_(registry.histogram("mem.read_latency_hist_ns")),
       h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
   TW_EXPECTS(cfg_.valid());
   pcm_.validate();
   read_ready_.reserve(map_.total_subarrays());
+  if (palp_on_) {
+    for (auto& v : palp_active_) v.reserve(cfg_.palp.write_ways);
+  }
 }
 
 // -- Node plumbing --------------------------------------------------------
@@ -460,13 +478,27 @@ void Controller::dispatch_reads_indexed(Tick now) {
                 if (a.hit != b.hit) return a.hit;
                 return nodes_[a.node].req.id < nodes_[b.node].req.id;
               });
+    // PALP holds reads back at issue time (a skipped cursor stays linked
+    // and is re-collected next pass), so a pass that admits nothing must
+    // terminate the loop — the stalled reads re-arm on the pump-unload
+    // completion's dispatch.
+    bool issued_any = false;
     for (const ReadCursor& cur : read_ready_) {
       const u32 sub = cur.sub;
+      if (palp_on_) {
+        const u32 bank = sub / map_.subarrays_per_bank();
+        if (!palp_read_admissible(bank, now)) {
+          note_palp_stall(bank, now);
+          continue;
+        }
+      }
       unlink_read(cur.node);
       issue_read(take_node(cur.node));
+      issued_any = true;
       notify_space();
       if (cfg_.row_hit_first || subarrays_[sub].idle_at(now)) break;
     }
+    if (!issued_any) break;
   }
 }
 
@@ -477,9 +509,15 @@ void Controller::dispatch_reads_exact(Tick now) {
     const Addr phys = physical_of(nodes_[id].req.addr);
     const u32 subarray = eff_sub(phys);
     if (subarrays_[subarray].idle_at(now)) {
-      unlink_read(id);
-      issue_read(take_node(id));
-      notify_space();
+      if (palp_on_ && !palp_read_admissible(eff_bank(phys), now)) {
+        // Partition free but the pump's read-while-write cap is spent:
+        // the read waits for a completion to re-trigger dispatch.
+        note_palp_stall(eff_bank(phys), now);
+      } else {
+        unlink_read(id);
+        issue_read(take_node(id));
+        notify_space();
+      }
     } else if (cfg_.write_pausing) {
       try_pause(eff_bank(phys), subarray);
     }
@@ -499,7 +537,9 @@ void Controller::dispatch_writes_indexed(Tick now) {
   };
   InlineVec<Cursor, 64> ready;
   bitmap_for_each(banks_with_writes_, [&](u32 bank) {
-    if (!banks_[bank].idle_at(now) || paused_write_[bank].has_value()) return;
+    if (!bank_ready_for_write(bank, now) || paused_write_[bank].has_value()) {
+      return;
+    }
     bool hit = false;
     const u32 id = write_cursor(bank, write_by_bank_[bank].head(), now, &hit);
     if (id != kNilIndex) ready.push_back({id, bank, hit});
@@ -525,20 +565,71 @@ void Controller::dispatch_writes_indexed(Tick now) {
 
     const u32 bank = cur.bank;
     u32 resume_from = kNilIndex;
-    if (cfg_.write_batch > 1) {
+    // A multi-line batch packs against the full bank budget, so under
+    // PALP it needs the pump exclusively; while partition writes are
+    // drawing, fall back to issuing the candidate as a single write.
+    const bool can_batch =
+        cfg_.write_batch > 1 &&
+        (!palp_on_ || pumps_[bank].can_admit_exclusive());
+    if (can_batch) {
       // Batch formation walks only this bank's list: the candidate plus
       // its same-bank successors up to the batch limit, irrespective of
       // subarray state (matching the reference gather, which filters the
-      // global queue by bank only).
+      // global queue by bank only). Under PALP the gather is
+      // spread-first: prefer lines in distinct partitions (overlap-
+      // friendly schedules leave the other partitions' sense amps free
+      // for reads), then fill the remainder in age order.
       std::vector<MemoryRequest> batch;
-      u32 id = cur.node;
-      while (id != kNilIndex && batch.size() < cfg_.write_batch) {
-        const u32 nxt = write_by_bank_[bank].next(nodes_, id);
-        unlink_write(id);
-        batch.push_back(take_node(id));
-        id = nxt;
+      if (palp_on_) {
+        const u32 spb = map_.subarrays_per_bank();
+        const u32 sub_base = bank * spb;
+        InlineVec<u32, 64> chosen;
+        InlineVec<u64, 4> seen;
+        seen.resize((spb + 63) / 64, 0);
+        const std::span<u64> smask{seen.data(), seen.size()};
+        for (u32 id = cur.node;
+             id != kNilIndex && chosen.size() < cfg_.write_batch;
+             id = write_by_bank_[bank].next(nodes_, id)) {
+          const u32 local = map_.flat_subarray(nodes_[id].req.addr) - sub_base;
+          if (bitmap_test(smask, local)) continue;
+          bitmap_set(smask, local);
+          chosen.push_back(id);
+        }
+        if (chosen.size() < cfg_.write_batch) {
+          for (u32 id = cur.node;
+               id != kNilIndex && chosen.size() < cfg_.write_batch;
+               id = write_by_bank_[bank].next(nodes_, id)) {
+            bool taken = false;
+            for (const u32 c : chosen) {
+              if (c == id) {
+                taken = true;
+                break;
+              }
+            }
+            if (!taken) chosen.push_back(id);
+          }
+        }
+        // Restore age order (node req ids are monotonic in arrival).
+        std::sort(chosen.begin(), chosen.end(), [&](u32 a, u32 b) {
+          return nodes_[a].req.id < nodes_[b].req.id;
+        });
+        for (const u32 id : chosen) {
+          unlink_write(id);
+          batch.push_back(take_node(id));
+        }
+        // Spread picking leaves skipped older entries on the list, so
+        // the zero-latency re-derive below rescans from the head.
+        resume_from = write_by_bank_[bank].head();
+      } else {
+        u32 id = cur.node;
+        while (id != kNilIndex && batch.size() < cfg_.write_batch) {
+          const u32 nxt = write_by_bank_[bank].next(nodes_, id);
+          unlink_write(id);
+          batch.push_back(take_node(id));
+          id = nxt;
+        }
+        resume_from = id;
       }
-      resume_from = id;
       if (batch.size() > 1) {
         issue_write_batch(std::move(batch));
       } else {
@@ -561,7 +652,11 @@ void Controller::dispatch_writes_indexed(Tick now) {
     // bank's cursor from the issued node's successor (earlier entries
     // were unissuable, and nothing un-occupies within a dispatch).
     // row_hit_first rescans from the head because the open row changed.
-    if (banks_[bank].idle_at(now) && !paused_write_[bank].has_value()) {
+    // Under PALP the bank re-arms whenever the pump still has a free
+    // way — that is the point: a second partition write can start while
+    // the first is in flight.
+    if (bank_ready_for_write(bank, now) &&
+        !paused_write_[bank].has_value()) {
       const u32 from =
           cfg_.row_hit_first ? write_by_bank_[bank].head() : resume_from;
       if (from != kNilIndex) {
@@ -584,11 +679,13 @@ void Controller::dispatch_writes_exact(Tick now) {
     const Addr phys_w = physical_of(nodes_[id].req.addr);
     const u32 bank = eff_bank(phys_w);
     const u32 subarray_w = eff_sub(phys_w);
-    if (banks_[bank].idle_at(now) && subarrays_[subarray_w].idle_at(now) &&
+    if (bank_ready_for_write(bank, now) &&
+        subarrays_[subarray_w].idle_at(now) &&
         !paused_write_[bank].has_value()) {
       unlink_write(id);
       MemoryRequest req = take_node(id);
-      if (cfg_.write_batch > 1) {
+      if (cfg_.write_batch > 1 &&
+          (!palp_on_ || pumps_[bank].can_admit_exclusive())) {
         std::vector<MemoryRequest> batch;
         batch.push_back(std::move(req));
         u32 scan = nxt;
@@ -654,6 +751,92 @@ void Controller::end_plan_scope(double factor) {
   if (factor != 1.0) scheme_.set_budget_scale(1.0);
 }
 
+// -- PALP admission -------------------------------------------------------
+
+u32 Controller::palp_write_allowance(Tick now) const {
+  if (fault_ == nullptr) return cfg_.palp.write_ways;
+  // Brown-out shrinks the concurrent-partition allowance with the same
+  // factor that shrinks the packing budget; at least one write way
+  // always remains (the legacy serialized behavior).
+  return fault_->palp_allowance(cfg_.palp.write_ways, now, 1);
+}
+
+u32 Controller::rww_allowance(Tick now) const {
+  if (fault_ == nullptr) return cfg_.palp.max_rww_reads;
+  // The read cap may shrink to zero: inside a deep brown-out reads wait
+  // for the pump to unload entirely (completions re-trigger dispatch,
+  // so no forward-progress risk).
+  return fault_->palp_allowance(cfg_.palp.max_rww_reads, now, 0);
+}
+
+bool Controller::palp_read_admissible(u32 bank, Tick now) const {
+  return pumps_[bank].can_admit_read(rww_allowance(now));
+}
+
+bool Controller::bank_ready_for_write(u32 bank, Tick now) const {
+  if (!palp_on_) return banks_[bank].idle_at(now);
+  return pumps_[bank].can_admit_write(palp_write_allowance(now));
+}
+
+void Controller::note_palp_stall(u32 bank, Tick now) {
+  c_palp_pump_stalls_.inc();
+  pumps_[bank].note_stall();
+  if (trace::on<kPalpCat>()) {
+    trace::emit_instant(kPalpCat, trace::Op::kPalpPumpStall,
+                        palp_track(cfg_.track_base, bank), now,
+                        pumps_[bank].rww_reads(),
+                        pumps_[bank].active_writes());
+  }
+}
+
+double Controller::begin_palp_plan_scope(Tick now) {
+  // A partition write plans against its share of the pump: the brown-out
+  // factor (if any) divided across the configured write ways. write_ways
+  // is the nominal divisor even when brown-out shrinks the admission
+  // allowance, so the worst-case concurrent draw stays within
+  // factor * budget.
+  double factor = 1.0;
+  if (fault_ != nullptr) {
+    factor = fault_->budget_factor(now);
+    if (factor != 1.0) c_brownout_writes_.inc();
+  }
+  const bool brownout = factor != 1.0;
+  factor /= static_cast<double>(cfg_.palp.write_ways);
+  if (factor != 1.0) scheme_.set_budget_scale(factor);
+  if (brownout && trace::on<kFaultCat>()) {
+    trace::emit_instant(kFaultCat, trace::Op::kBrownoutWrite,
+                        fault_track(cfg_.track_base), now,
+                        scheme_.effective_budget(),
+                        pcm_.bank_power_budget());
+  }
+  return factor;
+}
+
+void Controller::complete_palp_write(u32 bank, u64 epoch) {
+  auto& live = palp_active_[bank];
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].epoch != epoch) continue;
+    MemoryRequest req = std::move(live[i].req);
+    const Tick service = live[i].service;
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    pumps_[bank].end_write();
+    --inflight_;
+    if (trace::on<kCat>()) {
+      trace::emit_instant(kCat, trace::Op::kWriteComplete,
+                          bank_track(cfg_.track_base, bank), sim_.now(),
+                          req.id, service);
+    }
+    req.complete_tick = sim_.now();
+    const double lat_ns = to_ns(req.complete_tick - req.enqueue_tick);
+    a_write_latency_.add(lat_ns);
+    h_write_latency_.add(static_cast<u64>(lat_ns));
+    if (on_write_) on_write_(req);
+    schedule_dispatch();
+    return;
+  }
+  TW_FAIL("PALP completion epoch not found");
+}
+
 Tick Controller::apply_line_faults(Addr phys,
                                    const schemes::ServicePlan& plan) {
   if (fault_ == nullptr) return 0;
@@ -690,16 +873,30 @@ void Controller::issue_read(MemoryRequest req) {
   const Tick now = sim_.now();
   const Addr phys = physical_of(req.addr);
   const u32 subarray = eff_sub(phys);
+  const u32 bank = eff_bank(phys);
   note_stuck_remap(phys);
   const Tick service = scheme_.read_latency() + cfg_.read_bus_time;
   subarrays_[subarray].occupy(now, service);
   ++inflight_;
   c_reads_.inc();
+  // A read admitted while the pump is loaded counts against PALP's
+  // read-after-write-current limit until its data returns.
+  bool rww = false;
+  if (palp_on_ && pumps_[bank].loaded()) {
+    rww = true;
+    pumps_[bank].begin_rww_read();
+    c_palp_overlap_reads_.inc();
+    if (trace::on<kPalpCat>()) {
+      trace::emit_instant(kPalpCat, trace::Op::kPalpReadOverlap,
+                          palp_track(cfg_.track_base, bank), now, req.id,
+                          pumps_[bank].active_writes());
+    }
+  }
   if (trace::on<kCat>()) {
     trace::emit_span(kCat, trace::Op::kReadService, sub_track(cfg_.track_base, subarray), now,
                      service, req.id);
   }
-  note_row_activate(eff_bank(phys), phys);
+  note_row_activate(bank, phys);
   energy_.add_read(store_.units_per_line() * pcm_.geometry.data_unit_bits);
 
   req.start_tick = now;
@@ -711,8 +908,9 @@ void Controller::issue_read(MemoryRequest req) {
   const u32 slot = acquire_read_slot(std::move(req));
   sim_.schedule_in(
       service,
-      [this, slot] {
+      [this, slot, bank, rww] {
         --inflight_;
+        if (rww) pumps_[bank].end_rww_read();
         const MemoryRequest done = take_read_slot(slot);
         if (on_read_) on_read_(done);
         schedule_dispatch();
@@ -735,8 +933,11 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     trace::ScopedContext tctx(now, bank_track(cfg_.track_base, bank));
     // Writes planned inside a charge-pump brown-out window pack against
     // the shrunken budget; the scope stays open through the fault pricing
-    // so retry sub-requests see the same budget.
-    const double bscale = begin_plan_scope(now);
+    // so retry sub-requests see the same budget. PALP additionally
+    // divides the budget across the pump's write ways, since other
+    // partitions may start drawing while this write is in flight.
+    const double bscale =
+        palp_on_ ? begin_palp_plan_scope(now) : begin_plan_scope(now);
     const schemes::ServicePlan plan = scheme_.plan_write(line, req.data);
     service = plan.latency;
 
@@ -758,6 +959,54 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     a_write_service_.add(to_ns(service));
     if (plan.power_util > 0.0) a_power_util_.add(plan.power_util);
     note_row_activate(bank, phys);
+  }
+
+  if (palp_on_) {
+    // Partition write: the bank interval may overlap other partitions'
+    // writes (the pump admitted this way); completion is keyed by epoch
+    // in the per-bank in-flight list instead of the single active slot.
+    banks_[bank].occupy_overlapping(now, service);
+    subarrays_[subarray].occupy(now, service);
+    ++inflight_;
+    pcm::ChargePump& pump = pumps_[bank];
+    const bool overlapped = pump.active_writes() > 0;
+    pump.begin_write();
+    if (overlapped) c_palp_write_overlaps_.inc();
+    if (trace::on<kCat>()) {
+      trace::emit_span(kCat, trace::Op::kWriteService,
+                       bank_track(cfg_.track_base, bank), now, service,
+                       req.id);
+    }
+    if (trace::on<kPalpCat>()) {
+      trace::emit_span(kPalpCat, trace::Op::kPalpWriteSpan,
+                       palp_track(cfg_.track_base, bank), now, service,
+                       subarray);
+      if (overlapped) {
+        trace::emit_instant(kPalpCat, trace::Op::kPalpWriteOverlap,
+                            palp_track(cfg_.track_base, bank), now, req.id,
+                            pump.active_writes());
+      }
+    }
+    const u64 epoch = ++bank_epoch_[bank];
+    PalpWrite pw;
+    pw.req = std::move(req);
+    pw.epoch = epoch;
+    pw.service = service;
+    pw.subarray = subarray;
+    palp_active_[bank].push_back(std::move(pw));
+    sim_.schedule_in(
+        service, [this, bank, epoch] { complete_palp_write(bank, epoch); },
+        sim::Priority::kDeviceComplete);
+
+    if (cfg_.wear_leveling && service_override == 0) {
+      const u64 region = map_.line_index(palp_active_[bank].back().req.addr) /
+                         cfg_.start_gap.region_lines;
+      StartGapLeveler& leveler = leveler_for(region);
+      if (const auto move = leveler.on_write()) {
+        apply_gap_move(region, *move);
+      }
+    }
+    return;
   }
 
   banks_[bank].occupy(now, service);
@@ -814,8 +1063,20 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
 
   trace::ScopedContext tctx(now, bank_track(cfg_.track_base, bank));
   const double bscale = begin_plan_scope(now);
-  const schemes::BatchServicePlan batch = scheme_.plan_write_batch(
-      {lines.data(), lines.size()}, {datas.data(), datas.size()});
+  // Under PALP the scheme sees which partition each line lands in, so
+  // partition-aware packers can record (and tests can assert on) the
+  // spread the controller's gather produced.
+  InlineVec<u32, 16> parts;
+  if (palp_on_) {
+    const u32 sub_base0 = bank * map_.subarrays_per_bank();
+    for (const Addr p : phys) parts.push_back(eff_sub(p) - sub_base0);
+  }
+  const schemes::BatchServicePlan batch =
+      palp_on_ ? scheme_.plan_write_batch({lines.data(), lines.size()},
+                                          {datas.data(), datas.size()},
+                                          {parts.data(), parts.size()})
+               : scheme_.plan_write_batch({lines.data(), lines.size()},
+                                          {datas.data(), datas.size()});
   TW_ASSERT(batch.per_line.size() == reqs.size());
   // Batch-occupancy metrics: how many lines actually shared one packed
   // schedule and how full that schedule was (0 for serializing schemes).
@@ -878,10 +1139,26 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
     }
   }
   banks_[bank].occupy(start, batch_service);
+  u32 spread = 0;
   bitmap_for_each(mask, [&](u32 local) {
     subarrays_[sub_base + local].occupy(start, batch_service);
+    ++spread;
   });
   ++inflight_;
+  if (palp_on_) {
+    // A full-budget batch owns the pump until it completes: partition
+    // writes and capped reads both see loaded() for its duration.
+    pumps_[bank].begin_exclusive();
+    a_palp_batch_spread_.add(static_cast<double>(spread));
+    if (trace::on<kPalpCat>()) {
+      trace::emit_instant(kPalpCat, trace::Op::kPalpBatchSpread,
+                          palp_track(cfg_.track_base, bank), start,
+                          reqs.size(), spread);
+      trace::emit_span(kPalpCat, trace::Op::kPalpWriteSpan,
+                       palp_track(cfg_.track_base, bank), start,
+                       batch_service, spread);
+    }
+  }
   if (trace::on<kCat>()) {
     trace::emit_span(kCat, trace::Op::kBatchService, bank_track(cfg_.track_base, bank), start,
                      batch_service, reqs.size());
@@ -889,8 +1166,9 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
   const Tick done_in = start + batch_service - now;
   sim_.schedule_in(
       done_in,
-      [this, reqs = std::move(reqs)]() mutable {
+      [this, bank, reqs = std::move(reqs)]() mutable {
         --inflight_;
+        if (palp_on_) pumps_[bank].end_exclusive();
         for (auto& r : reqs) {
           r.complete_tick = sim_.now();
           const double lat_ns = to_ns(r.complete_tick - r.enqueue_tick);

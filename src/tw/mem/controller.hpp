@@ -54,12 +54,29 @@
 #include "tw/mem/start_gap.hpp"
 #include "tw/pcm/bank.hpp"
 #include "tw/pcm/energy.hpp"
+#include "tw/pcm/pump.hpp"
 #include "tw/pcm/wear.hpp"
 #include "tw/schemes/write_scheme.hpp"
 #include "tw/sim/simulator.hpp"
 #include "tw/stats/registry.hpp"
 
 namespace tw::mem {
+
+/// Partition-level parallelism (PALP, arXiv:1908.07966): treat the bank's
+/// charge pump as a budget-consuming resource shared by per-partition
+/// write drivers instead of a binary bank lock. Requires
+/// `subarrays_per_bank > 1` to have any effect (single-partition banks
+/// stay on the legacy serialized path bit-identically).
+struct PalpConfig {
+  bool enabled = false;
+  /// Partition writes allowed to draw from the pump concurrently. Each
+  /// concurrent way plans against budget/write_ways (the pump splits its
+  /// current evenly across active write drivers).
+  u32 write_ways = 2;
+  /// PALP's read-after-write-current limit: reads admitted per bank while
+  /// the pump is loaded. 0 = reads wait for the pump to unload.
+  u32 max_rww_reads = 2;
+};
 
 /// Controller policy knobs.
 struct ControllerConfig {
@@ -105,6 +122,12 @@ struct ControllerConfig {
   /// reference FRFCFS); DRAM-like front-ends can enable it.
   bool row_hit_first = false;
 
+  /// Partition-level parallelism knobs (read-while-write and concurrent
+  /// partition writes inside a bank). Mutually exclusive with
+  /// write_pausing: pausing models pump preemption, PALP models pump
+  /// sharing — composing them would double-count the pump.
+  PalpConfig palp;
+
   /// Added to every trace-track instance index this controller emits.
   /// MemorySystem gives channel c a base of c * 4096 so per-channel bank,
   /// queue and FSM tracks stay distinct in one merged trace. 0 (the
@@ -115,7 +138,8 @@ struct ControllerConfig {
     return read_queue_entries > 0 && write_queue_entries > 0 &&
            drain_low_watermark < write_queue_entries &&
            (!write_pausing || pause_quantum > 0) &&
-           (!wear_leveling || start_gap.valid()) && write_batch >= 1;
+           (!wear_leveling || start_gap.valid()) && write_batch >= 1 &&
+           (!palp.enabled || (!write_pausing && palp.write_ways >= 1));
   }
 };
 
@@ -179,6 +203,10 @@ class Controller : public MemoryInterface {
   const AddressMap& address_map() const { return map_; }
   const std::vector<pcm::PcmBank>& banks() const { return banks_; }
   const std::vector<pcm::PcmBank>& subarrays() const { return subarrays_; }
+  const std::vector<pcm::ChargePump>& pumps() const { return pumps_; }
+  /// True when PALP admission is live (enabled and the geometry has more
+  /// than one partition per bank to overlap).
+  bool palp_active() const { return palp_on_; }
   u64 gap_moves() const;
 
  private:
@@ -207,6 +235,15 @@ class Controller : public MemoryInterface {
   struct PausedWrite {
     MemoryRequest req;
     Tick remaining = 0;
+    u32 subarray = 0;
+  };
+  /// One partition write in flight under PALP (several may share a bank,
+  /// so the single active_write_ slot does not apply; epochs key the
+  /// completion events).
+  struct PalpWrite {
+    MemoryRequest req;
+    u64 epoch = 0;
+    Tick service = 0;
     u32 subarray = 0;
   };
   /// Last row activated in a bank (closed-row PCM: locality stats and
@@ -252,6 +289,22 @@ class Controller : public MemoryInterface {
   void issue_write(MemoryRequest req, Tick service_override = 0);
   void issue_write_batch(std::vector<MemoryRequest> reqs);
   void complete_write(u32 bank, u64 epoch);
+  void complete_palp_write(u32 bank, u64 epoch);
+
+  // PALP admission. Allowances shrink inside charge-pump brown-out
+  // windows (the fault ladder's budget factor scales concurrency the
+  // same way it scales the packing budget).
+  u32 palp_write_allowance(Tick now) const;
+  u32 rww_allowance(Tick now) const;
+  bool palp_read_admissible(u32 bank, Tick now) const;
+  /// Can a (single) write start drawing on `bank`'s pump at `now`?
+  /// Legacy mode: the binary bank lock. PALP: pump way admission.
+  bool bank_ready_for_write(u32 bank, Tick now) const;
+  /// Count + trace a read held back by the read-after-write-current cap.
+  void note_palp_stall(u32 bank, Tick now);
+  /// Plan scope for a PALP partition write: the brown-out factor divided
+  /// across the pump's write ways. Ended with end_plan_scope().
+  double begin_palp_plan_scope(Tick now);
   bool try_pause(u32 bank, u32 wanted_subarray);
   void resume_paused(u32 bank);
   bool read_waiting_for_subarray(u32 subarray);
@@ -303,6 +356,7 @@ class Controller : public MemoryInterface {
   DataStore store_;
   std::vector<pcm::PcmBank> banks_;      ///< write serialization (charge pump)
   std::vector<pcm::PcmBank> subarrays_;  ///< array occupancy (reads + writes)
+  std::vector<pcm::ChargePump> pumps_;   ///< PALP pump occupancy, per bank
   pcm::EnergyModel energy_;
   pcm::WearTracker wear_;
 
@@ -346,6 +400,16 @@ class Controller : public MemoryInterface {
   std::vector<u64> bank_epoch_;
   u32 paused_count_ = 0;  ///< banks with a paused write (O(1) idle check)
 
+  /// PALP: concurrent partition writes in flight, per flat bank. Live
+  /// only when palp_on_ (legacy mode keeps the single active_write_
+  /// slot); bounded by palp.write_ways entries per bank.
+  std::vector<std::vector<PalpWrite>> palp_active_;
+  /// cfg_.palp.enabled gated on a multi-partition geometry: with one
+  /// subarray per bank there is nothing to overlap, and forcing the
+  /// legacy path keeps partitions=1 runs bit-identical whatever the
+  /// palp.* knobs say.
+  bool palp_on_ = false;
+
   // Wear leveling state: flat array indexed by region id (regions are
   // dense under the bounded trace address spaces; entries materialize on
   // first touch).
@@ -378,6 +442,9 @@ class Controller : public MemoryInterface {
   stats::Counter& c_failed_lines_;
   stats::Counter& c_brownout_writes_;
   stats::Counter& c_stuck_remaps_;
+  stats::Counter& c_palp_overlap_reads_;
+  stats::Counter& c_palp_pump_stalls_;
+  stats::Counter& c_palp_write_overlaps_;
   stats::Accumulator& a_read_latency_;
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;
@@ -385,6 +452,7 @@ class Controller : public MemoryInterface {
   stats::Accumulator& a_power_util_;
   stats::Accumulator& a_batch_lines_;
   stats::Accumulator& a_batch_occupancy_;
+  stats::Accumulator& a_palp_batch_spread_;
   stats::Log2Histogram& h_read_latency_;
   stats::Log2Histogram& h_write_latency_;
 };

@@ -46,6 +46,22 @@ class PcmArray {
 
   u64 size_bits() const { return static_cast<u64>(value_.size()); }
 
+  /// Split the array into `count` equal-size partitions (PALP geometry:
+  /// each partition has its own sense amps and write drivers, sharing
+  /// only the bank's charge pump). `count` must divide the cell count.
+  void set_partitions(u32 count) {
+    TW_EXPECTS(count >= 1 && size_bits() % count == 0);
+    partitions_ = count;
+  }
+
+  u32 partitions() const { return partitions_; }
+
+  /// Partition index owning cell `bit`.
+  u32 partition_of(u64 bit) const {
+    TW_EXPECTS(bit < size_bits());
+    return static_cast<u32>(bit / (size_bits() / partitions_));
+  }
+
   /// Read one cell. Reads do not wear cells.
   bool read(u64 bit) const;
 
@@ -93,6 +109,7 @@ class PcmArray {
   u64 failed_pulses_ = 0;
   const CellFaultHook* fault_hook_ = nullptr;
   u32 fault_attempt_ = 0;
+  u32 partitions_ = 1;
 };
 
 }  // namespace tw::pcm

@@ -27,6 +27,17 @@ class PcmBank {
     ++commands_;
   }
 
+  /// Occupy the bank from `start` for `duration`, allowing the interval
+  /// to overlap an in-flight command (partition-level parallelism: two
+  /// partitions of the same bank may write concurrently when the charge
+  /// pump admits both). The bank stays busy until the latest end.
+  void occupy_overlapping(Tick start, Tick duration) {
+    const Tick end = start + duration;
+    if (end > busy_until_) busy_until_ = end;
+    busy_total_ += duration;
+    ++commands_;
+  }
+
   /// Cut the current occupancy short at `at` (write pausing): the bank
   /// becomes free at `at` instead of its scheduled end. `at` must not be
   /// later than the current busy-until.

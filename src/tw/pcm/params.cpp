@@ -36,7 +36,9 @@ std::string GeometryParams::error() const {
   if (banks == 0 || !is_pow2(banks)) return pow2_msg("banks", banks);
   if (ranks == 0) return "ranks must be >= 1";
   if (subarrays_per_bank == 0 || !is_pow2(subarrays_per_bank)) {
-    return pow2_msg("subarrays_per_bank", subarrays_per_bank);
+    return pow2_msg("subarrays_per_bank", subarrays_per_bank) +
+           " (the row decoder extracts log2(subarrays_per_bank) address "
+           "bits to select the partition within a bank)";
   }
   if (channels == 0 || !is_pow2(channels)) {
     return pow2_msg("channels", channels) +

@@ -57,10 +57,12 @@ struct GeometryParams {
   u32 cache_line_bytes = 64;    ///< last-level cache line size
   u32 banks = 8;                ///< banks per rank
   u32 ranks = 1;
-  /// Subarrays per bank (paper refs [13][15]): reads may proceed in one
-  /// subarray while another subarray of the same bank is being written
-  /// (read current is tiny); writes still serialize on the bank's charge
-  /// pump. 1 = the paper's baseline organization.
+  /// Subarrays (partitions) per bank (paper refs [13][15], PALP): reads
+  /// may proceed in one subarray while another subarray of the same bank
+  /// is being written (read current is tiny). Writes serialize on the
+  /// bank's charge pump unless the controller's PALP mode admits
+  /// multiple partition writes as concurrent pump ways (see
+  /// mem::PalpConfig). 1 = the paper's baseline organization.
   u32 subarrays_per_bank = 1;
   u64 capacity_bytes = u64{4} * 1024 * 1024 * 1024;  ///< 4 GB SLC PCM
   /// Independent channels, each with its own controller, bank array and

@@ -129,6 +129,18 @@ class WriteScheme {
       std::span<pcm::LineBuf*> lines,
       std::span<const pcm::LogicalLine> datas) const;
 
+  /// Partition-aware batch plan (PALP): `partitions[i]` is the bank-local
+  /// partition line i lands in. The default ignores the placement and
+  /// defers to the 2-argument overload; partition-aware packers (Tetris)
+  /// use it to record the spread the controller's gather achieved.
+  virtual BatchServicePlan plan_write_batch(
+      std::span<pcm::LineBuf*> lines,
+      std::span<const pcm::LogicalLine> datas,
+      std::span<const u32> partitions) const {
+    (void)partitions;
+    return plan_write_batch(lines, datas);
+  }
+
   /// Price one verify-and-retry attempt re-driving `failed` bits, with
   /// pulse widths widened by `widen`^`attempt` (attempt >= 1). The default
   /// re-runs the worst-case concurrency closed form over just the failed

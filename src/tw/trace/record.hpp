@@ -25,8 +25,9 @@ enum class Category : u8 {
   kCache = 4,       ///< cache hierarchy: misses, writebacks
   kMetrics = 5,     ///< periodic metrics snapshots (counter tracks)
   kFault = 6,       ///< fault injection: retries, failed lines, brown-outs
+  kPalp = 7,        ///< partition-level parallelism: occupancy, overlaps
 };
-inline constexpr u32 kCategoryCount = 7;
+inline constexpr u32 kCategoryCount = 8;
 
 constexpr u32 category_bit(Category c) { return 1u << static_cast<u32>(c); }
 
@@ -95,6 +96,17 @@ enum class Op : u16 {
                         ///< (arg0 = scaled budget, arg1 = nominal budget)
   kStuckRemap = 99,     ///< service redirected off a stuck bank
                         ///< (arg0 = stuck bank, arg1 = healthy target)
+  // kPalp
+  kPalpWriteSpan = 112,     ///< span: partition write drawing on the pump
+                            ///< (arg0 = partition / batch spread)
+  kPalpReadOverlap = 113,   ///< read admitted while the pump is loaded
+                            ///< (arg0 = req id, arg1 = active writes)
+  kPalpPumpStall = 114,     ///< read held back by the RWW cap
+                            ///< (arg0 = rww reads, arg1 = active writes)
+  kPalpWriteOverlap = 115,  ///< partition write started while another draws
+                            ///< (arg0 = req id, arg1 = active writes)
+  kPalpBatchSpread = 116,   ///< batch gathered under PALP (arg0 = lines,
+                            ///< arg1 = distinct partitions)
 };
 
 /// Visualization track domains (Chrome pid); the low 24 bits of a track id
@@ -111,8 +123,9 @@ enum class Track : u8 {
   kCache = 8,
   kMetrics = 9,
   kFault = 10,
+  kPalp = 11,  ///< per-bank pump occupancy (PALP)
 };
-inline constexpr u32 kTrackDomains = 11;
+inline constexpr u32 kTrackDomains = 12;
 
 constexpr u32 track_id(Track domain, u32 index) {
   return (static_cast<u32>(domain) << 24) | (index & 0x00FFFFFFu);

@@ -46,6 +46,11 @@ const char* op_name(Op op) {
     case Op::kLineFailed: return "line_failed";
     case Op::kBrownoutWrite: return "brownout_write";
     case Op::kStuckRemap: return "stuck_remap";
+    case Op::kPalpWriteSpan: return "palp_write_span";
+    case Op::kPalpReadOverlap: return "palp_read_overlap";
+    case Op::kPalpPumpStall: return "palp_pump_stall";
+    case Op::kPalpWriteOverlap: return "palp_write_overlap";
+    case Op::kPalpBatchSpread: return "palp_batch_spread";
   }
   return "unknown";
 }
@@ -59,6 +64,7 @@ const char* category_name(Category c) {
     case Category::kCache: return "cache";
     case Category::kMetrics: return "metrics";
     case Category::kFault: return "fault";
+    case Category::kPalp: return "palp";
   }
   return "unknown";
 }
@@ -76,6 +82,7 @@ const char* track_domain_name(Track t) {
     case Track::kCache: return "cache";
     case Track::kMetrics: return "metrics";
     case Track::kFault: return "fault";
+    case Track::kPalp: return "palp";
   }
   return "unknown";
 }

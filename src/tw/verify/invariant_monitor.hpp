@@ -31,6 +31,7 @@
 #include "tw/core/packer.hpp"
 #include "tw/core/read_stage.hpp"
 #include "tw/core/write_driver.hpp"
+#include "tw/pcm/pump.hpp"
 #include "tw/sim/simulator.hpp"
 #include "tw/verify/error.hpp"
 
@@ -43,6 +44,7 @@ struct MonitorStats {
   u64 events_checked = 0;
   u64 pulses_checked = 0;
   u64 sim_events_seen = 0;
+  u64 palp_checks = 0;   ///< pump admission states examined
   u32 peak_current = 0;  ///< max instantaneous current seen in any trace
 };
 
@@ -75,6 +77,15 @@ class InvariantMonitor final : public core::PulseObserver {
   /// containment and instantaneous power.
   void check_trace(const core::FsmTrace& trace,
                    const core::PackResult& pack);
+
+  /// PALP admission invariant (read-after-write-current limit): fail if
+  /// the pump reports more concurrent partition writes than `write_ways`,
+  /// more reads admitted against a loaded pump than `rww_allowance`, or
+  /// a partition write drawing while an exclusive full-budget batch owns
+  /// the pump. Call with the brown-out-shrunken allowances when checking
+  /// inside a brown-out window.
+  void check_palp_admission(const pcm::ChargePump& pump, u32 write_ways,
+                            u32 rww_allowance);
 
   /// Reset the per-line cell ledger; call before each monitored write.
   void begin_write();

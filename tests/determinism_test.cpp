@@ -93,6 +93,10 @@ void expect_identical(const harness::RunMetrics& a,
   EXPECT_EQ(a.write_q_peak, b.write_q_peak);
   EXPECT_EQ(a.dispatch_rounds, b.dispatch_rounds);
   EXPECT_EQ(a.row_hits, b.row_hits);
+  // PALP overlap counters (zero whenever PALP is off/degenerate).
+  EXPECT_EQ(a.palp_overlapped_reads, b.palp_overlapped_reads);
+  EXPECT_EQ(a.palp_pump_stalls, b.palp_pump_stalls);
+  EXPECT_EQ(a.palp_write_overlaps, b.palp_write_overlaps);
 }
 
 TEST(Determinism, SameSeedSameStats) {
@@ -227,6 +231,86 @@ TEST(Determinism, TraceBytesInvariantAcrossThreadsAndChannels) {
       } else {
         EXPECT_EQ(baseline, bytes)
             << "trace bytes drifted with the pool-thread count";
+      }
+    }
+  }
+}
+
+/// One vips/Tetris cell with PALP on at the given partition and channel
+/// counts (and optional Chrome trace path).
+harness::RunMetrics run_palp_cell(u32 partitions, u32 channels,
+                                  u32 sim_threads, u64 seed,
+                                  const std::string& trace_path = "") {
+  harness::SystemConfig cfg = small_config(seed);
+  cfg.pcm.geometry.subarrays_per_bank = partitions;
+  cfg.pcm.geometry.channels = channels;
+  cfg.controller.palp.enabled = true;
+  cfg.sim_threads = sim_threads;
+  cfg.trace.chrome_path = trace_path;
+  return harness::run_system(cfg, workload::profile_by_name("vips"),
+                             schemes::SchemeKind::kTetris);
+}
+
+TEST(Determinism, PalpThreadCountInvariant) {
+  // PALP admission decisions depend on in-flight state (pump load, rww
+  // reads), the kind of bookkeeping where scheduling nondeterminism would
+  // leak first. Same seed => bit-identical metrics at every
+  // (partitions, channels, sim_threads) point.
+  for (const u32 partitions : {1u, 4u}) {
+    for (const u32 channels : {1u, 8u}) {
+      SCOPED_TRACE("partitions=" + std::to_string(partitions) +
+                   " channels=" + std::to_string(channels));
+      std::vector<harness::RunMetrics> runs;
+      for (const u32 threads : {1u, 4u}) {
+        runs.push_back(run_palp_cell(partitions, channels, threads, 42));
+      }
+      EXPECT_TRUE(runs[0].completed);
+      EXPECT_GT(runs[0].writes, 0u);
+      EXPECT_GT(runs[0].reads, 0u);
+      if (partitions == 1) {
+        // Degenerate geometry: PALP is inert and its counters stay zero.
+        EXPECT_EQ(runs[0].palp_overlapped_reads, 0u);
+        EXPECT_EQ(runs[0].palp_pump_stalls, 0u);
+        EXPECT_EQ(runs[0].palp_write_overlaps, 0u);
+      }
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        SCOPED_TRACE("sim_threads index " + std::to_string(i));
+        expect_identical(runs[0], runs[i]);
+      }
+    }
+  }
+  // Guard against a vacuous pass: at 4 partitions PALP must actually
+  // overlap something.
+  const auto active = run_palp_cell(4, 1, 1, 42);
+  EXPECT_GT(active.palp_overlapped_reads + active.palp_write_overlaps, 0u);
+}
+
+TEST(Determinism, PalpTraceBytesInvariant) {
+  // The palp trace category rides in the same rings as everything else,
+  // so the byte-identity promise must hold with PALP emitting spans too.
+  for (const u32 partitions : {1u, 4u}) {
+    SCOPED_TRACE("partitions=" + std::to_string(partitions));
+    std::string baseline;
+    for (const u32 threads : {1u, 4u}) {
+      SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+      const std::string path = testing::TempDir() + "tw_palp_trace_p" +
+                               std::to_string(partitions) + "_t" +
+                               std::to_string(threads) + ".json";
+      const auto m = run_palp_cell(partitions, 1, threads, 42, path);
+      EXPECT_TRUE(m.completed);
+      EXPECT_GT(m.trace_records, 0u);
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in.is_open()) << path;
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      in.close();
+      std::remove(path.c_str());
+      ASSERT_FALSE(bytes.empty());
+      if (baseline.empty()) {
+        baseline = bytes;
+      } else {
+        EXPECT_EQ(baseline, bytes)
+            << "palp trace bytes drifted with the pool-thread count";
       }
     }
   }

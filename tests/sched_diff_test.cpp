@@ -525,6 +525,50 @@ TEST(SchedDiff, MultiLineBatchAgeAndDrainOrder) {
   EXPECT_GT(write_completions, 500u);
 }
 
+TEST(SchedDiff, PalpDisabledFamilyMultiSubarray) {
+  // With palp.enabled=false the PALP machinery must be completely inert:
+  // multi-subarray runs stay bit-identical to the frozen reference
+  // controller (which predates PALP and ignores the config block) across
+  // schemes and drain policies.
+  for (const u32 subarrays : {4u, 8u}) {
+    for (const auto kind :
+         {schemes::SchemeKind::kDcw, schemes::SchemeKind::kTetris}) {
+      for (const auto drain :
+           {ControllerConfig::DrainPolicy::kStrict,
+            ControllerConfig::DrainPolicy::kOpportunistic}) {
+        Scenario sc;
+        sc.name = std::string("palp-off-sub") + std::to_string(subarrays) +
+                  "-" + std::string(schemes::scheme_name(kind)) +
+                  (drain == ControllerConfig::DrainPolicy::kStrict
+                       ? "-strict"
+                       : "-opportunistic");
+        sc.cfg.palp.enabled = false;
+        sc.cfg.drain = drain;
+        sc.kind = kind;
+        sc.subarrays_per_bank = subarrays;
+        sc.seeds = 1;
+        sc.shape.requests = 1200;
+        sc.shape.write_frac = 0.6;
+        run_scenario(sc);
+      }
+    }
+  }
+}
+
+TEST(SchedDiff, PalpSinglePartitionDegeneracy) {
+  // palp.enabled=true at 1 subarray/bank: the controller detects the
+  // degenerate geometry and falls back to the baseline scheduler, so the
+  // run must still be bit-identical to the PALP-oblivious reference.
+  Scenario sc;
+  sc.name = "palp-on-sub1-tetris";
+  sc.cfg.palp.enabled = true;
+  sc.kind = schemes::SchemeKind::kTetris;
+  sc.subarrays_per_bank = 1;
+  sc.shape.requests = 1500;
+  sc.shape.write_frac = 0.6;
+  run_scenario(sc);
+}
+
 TEST(SchedDiff, NoCoalescingNoForwardingThreeStage) {
   Scenario sc;
   sc.name = "raw-threestage";
