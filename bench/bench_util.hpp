@@ -42,6 +42,9 @@ struct Options {
   u32 channels = 1;     ///< memory channels (power of two)
   pcm::ChannelInterleave interleave = pcm::ChannelInterleave::kLine;
   u32 sim_threads = 0;  ///< pool-thread cap for the channel phase (0 = all)
+  bool dram = false;    ///< front PCM with the DRAM tier
+  u32 dram_mb = 32;     ///< DRAM capacity in MB (total across channels)
+  mem::DramPolicy dram_policy = mem::DramPolicy::kLru;
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -117,6 +120,28 @@ struct Options {
       } else if (starts_with(arg, "--sim-threads=")) {
         o.sim_threads = static_cast<u32>(
             std::strtoul(value("--sim-threads="), nullptr, 10));
+      } else if (arg == "--dram") {
+        o.dram = true;
+      } else if (starts_with(arg, "--dram-mb=")) {
+        const u64 n = std::strtoull(value("--dram-mb="), nullptr, 10);
+        if (n == 0) {
+          std::cerr << "--dram-mb must be >= 1 (got '" << value("--dram-mb=")
+                    << "')\n";
+          std::exit(2);
+        }
+        o.dram = true;
+        o.dram_mb = static_cast<u32>(n);
+      } else if (starts_with(arg, "--dram-policy=")) {
+        const std::string s = value("--dram-policy=");
+        if (s == "lru") {
+          o.dram_policy = mem::DramPolicy::kLru;
+        } else if (s == "mac") {
+          o.dram_policy = mem::DramPolicy::kMac;
+        } else {
+          std::cerr << "--dram-policy must be lru|mac (got '" << s << "')\n";
+          std::exit(2);
+        }
+        o.dram = true;
       } else if (starts_with(arg, "--trace-categories=")) {
         o.trace_categories =
             trace::parse_categories(value("--trace-categories="));
@@ -135,6 +160,7 @@ struct Options {
                      "--channels=N --interleave=line|bank|row "
                      "--sim-threads=N "
                      "--subarrays=N --palp --palp-ways=N --palp-rww=N "
+                     "--dram --dram-mb=N --dram-policy=lru|mac "
                      "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
                      "--trace-metrics=PATH --trace-categories=LIST "
                      "--fault-profile=none|light|heavy|stuck-bank\n";
@@ -211,6 +237,9 @@ inline harness::SystemConfig system_config(
   cfg.pcm.geometry.channels = o.channels;
   cfg.pcm.geometry.channel_interleave = o.interleave;
   cfg.sim_threads = o.sim_threads;
+  cfg.dram.enabled = o.dram;
+  cfg.dram.capacity_bytes = u64{o.dram_mb} * 1024 * 1024;
+  cfg.dram.policy = o.dram_policy;
   return cfg;
 }
 

@@ -7,6 +7,12 @@ fails when the chosen metric falls more than --max-regression percent
 below it. Shared-runner noise stays well inside the default 15% band; a
 lost fast path does not.
 
+The tolerated drop resolves in precedence order: an explicit
+--max-regression flag, then a per-metric entry in the baseline's
+"tolerances" dict ({"metric": percent}), then the 15% default.
+Baselines pin tight bands on their deterministic simulated ratios and
+keep the noise allowance for wall-clock throughput.
+
 Usage:
     check_bench.py BASELINE.json FRESH.json [--metric events_per_sec]
                    [--max-regression 15] [--label micro_sim]
@@ -46,8 +52,10 @@ def main():
     ap.add_argument("baseline", help="committed BENCH_*.json")
     ap.add_argument("fresh", help="just-produced bench JSON")
     ap.add_argument("--metric", default="events_per_sec")
-    ap.add_argument("--max-regression", type=float, default=15.0,
-                    help="largest tolerated drop, percent")
+    ap.add_argument("--max-regression", type=float, default=None,
+                    help="largest tolerated drop, percent (default: the "
+                         "baseline's tolerances entry for the metric, "
+                         "else 15)")
     ap.add_argument("--label", default=None,
                     help="name to print (default: baseline 'bench' field)")
     args = ap.parse_args()
@@ -56,13 +64,26 @@ def main():
     now, _ = load_metric(args.fresh, args.metric)
     label = args.label or base_data.get("bench", args.baseline)
 
-    floor = base * (1.0 - args.max_regression / 100.0)
+    max_regression = args.max_regression
+    if max_regression is None:
+        tolerances = base_data.get("tolerances", {})
+        if not isinstance(tolerances, dict):
+            print(f"check_bench: {args.baseline} 'tolerances' is not an "
+                  f"object", file=sys.stderr)
+            sys.exit(2)
+        max_regression = float(tolerances.get(args.metric, 15.0))
+    if max_regression < 0:
+        print(f"check_bench: negative tolerance {max_regression} for "
+              f"'{args.metric}'", file=sys.stderr)
+        sys.exit(2)
+
+    floor = base * (1.0 - max_regression / 100.0)
     delta_pct = (now / base - 1.0) * 100.0
     print(f"{label}: {args.metric} {fmt(now)} vs baseline {fmt(base)} "
           f"({delta_pct:+.1f}%, floor {fmt(floor)})")
     if now < floor:
         print(f"{label}: REGRESSION — {args.metric} dropped "
-              f"{-delta_pct:.1f}% (> {args.max_regression:.0f}% allowed)",
+              f"{-delta_pct:.1f}% (> {max_regression:.0f}% allowed)",
               file=sys.stderr)
         return 1
     return 0

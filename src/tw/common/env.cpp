@@ -10,4 +10,19 @@ bool verify_env_enabled() {
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 
+u32 fuzz_scale_env() {
+  const char* v = std::getenv("TW_FUZZ_SCALE");
+  if (v == nullptr || v[0] == '\0') return 1;
+  const long n = std::strtol(v, nullptr, 10);
+  if (n < 1) return 1;
+  if (n > 1000) return 1000;
+  return static_cast<u32>(n);
+}
+
+u64 fuzz_seed_env() {
+  const char* v = std::getenv("TW_FUZZ_SEED");
+  if (v == nullptr || v[0] == '\0') return 0;
+  return std::strtoull(v, nullptr, 10);
+}
+
 }  // namespace tw

@@ -7,10 +7,26 @@
 // subsystem's monitors are armed by the components that own them. The
 // flag is read per query (getenv is cheap next to a line write) so tests
 // can toggle it.
+//
+// TW_FUZZ_SCALE=N multiplies the trial counts of the randomized fuzz
+// campaigns (nightly CI runs long campaigns at N >> 1; presubmit keeps
+// the fast default). TW_FUZZ_SEED=N offsets the campaigns' base seeds so
+// successive nightly runs explore fresh cases; failures stay
+// reproducible because the minimizer prints a self-contained reproducer.
+
+#include "tw/common/types.hpp"
 
 namespace tw {
 
 /// True when TW_VERIFY is set to a non-empty value other than "0".
 bool verify_env_enabled();
+
+/// Trial multiplier for randomized fuzz campaigns (TW_FUZZ_SCALE,
+/// default 1, clamped to [1, 1000]).
+u32 fuzz_scale_env();
+
+/// Additive seed offset for randomized fuzz campaigns (TW_FUZZ_SEED,
+/// default 0).
+u64 fuzz_seed_env();
 
 }  // namespace tw

@@ -171,6 +171,54 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.controller.palp.max_rww_reads = static_cast<u32>(to_u64(v));
        }},
+      // -- DRAM front tier ---------------------------------------------------
+      {"dram.enabled",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.enabled = to_bool(v);
+       }},
+      {"dram.capacity_mb",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.capacity_bytes = to_u64(v) * 1024 * 1024;
+       }},
+      {"dram.ways",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.ways = static_cast<u32>(to_u64(v));
+       }},
+      {"dram.policy",
+       [](SystemConfig& c, const std::string& v) {
+         const std::string s = to_lower(v);
+         if (s == "lru") {
+           c.dram.policy = mem::DramPolicy::kLru;
+         } else if (s == "mac") {
+           c.dram.policy = mem::DramPolicy::kMac;
+         } else {
+           throw std::runtime_error("dram.policy must be lru|mac");
+         }
+       }},
+      {"dram.t_row_hit_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.t_row_hit = ns(to_u64(v));
+       }},
+      {"dram.t_row_miss_ns",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.t_row_miss = ns(to_u64(v));
+       }},
+      {"dram.row_lines",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.row_lines = static_cast<u32>(to_u64(v));
+       }},
+      {"dram.banks",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.banks = static_cast<u32>(to_u64(v));
+       }},
+      {"dram.pending_limit",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.pending_limit = static_cast<u32>(to_u64(v));
+       }},
+      {"dram.mac_group",
+       [](SystemConfig& c, const std::string& v) {
+         c.dram.mac_group = static_cast<u32>(to_u64(v));
+       }},
       // -- multi-line batch packing ---------------------------------------
       {"batch.max_lines",
        [](SystemConfig& c, const std::string& v) {
@@ -382,6 +430,21 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
     out << "palp.write_ways = " << cfg.controller.palp.write_ways << "\n";
     out << "palp.max_rww_reads = " << cfg.controller.palp.max_rww_reads
         << "\n";
+  }
+  if (cfg.dram.enabled) {
+    // Only emitted when the tier is on, so tier-off dumps are unchanged.
+    out << "dram.enabled = true\n";
+    out << "dram.capacity_mb = " << cfg.dram.capacity_bytes / (1024 * 1024)
+        << "\n";
+    out << "dram.ways = " << cfg.dram.ways << "\n";
+    out << "dram.policy = " << mem::dram_policy_name(cfg.dram.policy)
+        << "\n";
+    out << "dram.t_row_hit_ns = " << cfg.dram.t_row_hit / 1000 << "\n";
+    out << "dram.t_row_miss_ns = " << cfg.dram.t_row_miss / 1000 << "\n";
+    out << "dram.row_lines = " << cfg.dram.row_lines << "\n";
+    out << "dram.banks = " << cfg.dram.banks << "\n";
+    out << "dram.pending_limit = " << cfg.dram.pending_limit << "\n";
+    out << "dram.mac_group = " << cfg.dram.mac_group << "\n";
   }
   out << "batch.max_lines = " << cfg.batch.max_lines << "\n";
   out << "core.clock_ps = " << cfg.core.clock_period << "\n";

@@ -184,6 +184,25 @@ void add_fault_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
                  epoch_delta("mem.brownout_writes"));
 }
 
+/// Per-epoch DRAM-tier gauges; only registered when the tier is on so
+/// tier-off traces keep their exact column set.
+void add_dram_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
+  const auto epoch_delta = [&reg](const char* name) {
+    return [&reg, name, prev = 0.0]() mutable {
+      const double t = static_cast<double>(reg.counter(name).value());
+      const double d = t - prev;
+      prev = t;
+      return d;
+    };
+  };
+  snap.add_gauge("dram_hits_epoch", epoch_delta("mem.dram_hits"));
+  snap.add_gauge("dram_misses_epoch", epoch_delta("mem.dram_misses"));
+  snap.add_gauge("dram_writebacks_epoch",
+                 epoch_delta("mem.dram_writebacks"));
+  snap.add_gauge("dram_clean_evicts_epoch",
+                 epoch_delta("mem.dram_clean_evicts"));
+}
+
 /// Per-epoch PALP gauges; only registered when partition-level
 /// parallelism is on so PALP-off traces keep their exact column set.
 void add_palp_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
@@ -279,6 +298,20 @@ u64 config_hash(const SystemConfig& cfg) {
   h = mix(h, cfg.fault.brownout_period);
   h = mix(h, cfg.fault.brownout_duration);
   h = mix_double(h, cfg.fault.brownout_budget_factor);
+  // DRAM front tier: mixed only when enabled so every tier-off config
+  // keeps the hash it had before the tier existed.
+  if (cfg.dram.enabled) {
+    h = mix(h, 1);
+    h = mix(h, cfg.dram.capacity_bytes);
+    h = mix(h, cfg.dram.ways);
+    h = mix(h, static_cast<u64>(cfg.dram.policy));
+    h = mix(h, cfg.dram.t_row_hit);
+    h = mix(h, cfg.dram.t_row_miss);
+    h = mix(h, cfg.dram.row_lines);
+    h = mix(h, cfg.dram.banks);
+    h = mix(h, cfg.dram.pending_limit);
+    h = mix(h, cfg.dram.mac_group);
+  }
   return h;
 }
 
@@ -299,7 +332,7 @@ RunMetrics run_system(const SystemConfig& cfg,
   if (cfg.batch.max_lines > 0) ccfg.write_batch = cfg.batch.max_lines;
   mem::MemorySystem msys(sim, cfg.pcm, ccfg, factory, reg, cfg.fault,
                          cfg.seed, profile.initial_ones_fraction,
-                         cfg.xbar_latency, cfg.sim_threads);
+                         cfg.xbar_latency, cfg.sim_threads, cfg.dram);
   const u32 channels = msys.channels();
   workload::TraceGenerator gen(profile, cfg.pcm.geometry, cfg.cores,
                                cfg.seed * 0x9E3779B9u + 7);
@@ -334,6 +367,7 @@ RunMetrics run_system(const SystemConfig& cfg,
     if (channels == 1 && msys.channel(0).palp_active()) {
       add_palp_gauges(*snapshotter, reg);
     }
+    if (msys.dram_active()) add_dram_gauges(*snapshotter, reg);
     snapshotter->start();
   }
 
@@ -437,6 +471,10 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.palp_overlapped_reads = reg.counter("mem.palp_overlapped_reads").value();
   m.palp_pump_stalls = reg.counter("mem.palp_pump_stalls").value();
   m.palp_write_overlaps = reg.counter("mem.palp_write_overlaps").value();
+  m.dram_hits = reg.counter("mem.dram_hits").value();
+  m.dram_misses = reg.counter("mem.dram_misses").value();
+  m.dram_writebacks = reg.counter("mem.dram_writebacks").value();
+  m.dram_clean_evicts = reg.counter("mem.dram_clean_evicts").value();
   return m;
 }
 

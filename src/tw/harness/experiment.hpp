@@ -9,6 +9,7 @@
 #include "tw/cpu/multicore.hpp"
 #include "tw/fault/fault.hpp"
 #include "tw/mem/controller.hpp"
+#include "tw/mem/dram_tier.hpp"
 #include "tw/trace/tracer.hpp"
 #include "tw/workload/profiles.hpp"
 
@@ -50,6 +51,7 @@ struct SystemConfig {
   core::TetrisOptions tetris;          ///< analysis overhead etc.
   fault::FaultConfig fault;            ///< fault injection (off by default)
   BatchConfig batch;                   ///< multi-line batch packing
+  mem::DramConfig dram;                ///< DRAM front tier (off by default)
   TraceConfig trace;                   ///< structured tracing (off by default)
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
@@ -119,6 +121,11 @@ struct RunMetrics {
   u64 palp_overlapped_reads = 0;  ///< reads issued against a loaded pump
   u64 palp_pump_stalls = 0;       ///< admissions deferred by the pump budget
   u64 palp_write_overlaps = 0;    ///< writes begun while another was in flight
+  // DRAM front tier (zero when the tier was off).
+  u64 dram_hits = 0;          ///< requests absorbed by the tier
+  u64 dram_misses = 0;        ///< requests that went to the PCM path
+  u64 dram_writebacks = 0;    ///< dirty lines written back to PCM
+  u64 dram_clean_evicts = 0;  ///< clean victims dropped without PCM traffic
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

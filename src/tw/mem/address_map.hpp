@@ -65,33 +65,37 @@ class AddressMap {
     return 0;
   }
 
-  Location decode(Addr a) const {
+  /// Channel-stripped dense line index: what the owning channel's
+  /// controller (and the DRAM front tier's set/row decoders) see. Equal
+  /// to line_index() for channels == 1.
+  u64 local_line_index(Addr a) const {
     u64 li = line_index(a);
-    Location loc;
     if (channels_ > 1) {
       // Strip the channel bits so each controller decodes a dense
       // channel-local line index (all banks/rows reachable per channel).
       switch (interleave_) {
         case pcm::ChannelInterleave::kLine:
-          loc.channel = static_cast<u32>(li & (channels_ - 1));
           li >>= log2_pow2(channels_);
           break;
         case pcm::ChannelInterleave::kBank: {
           const u32 bank_bits = log2_pow2(banks_);
-          loc.channel =
-              static_cast<u32>((li >> bank_bits) & (channels_ - 1));
           const u64 bank_part = li & (banks_ - 1);
           li = ((li >> bank_bits >> log2_pow2(channels_)) << bank_bits) |
                bank_part;
           break;
         }
         case pcm::ChannelInterleave::kRow:
-          loc.channel =
-              static_cast<u32>((li / lines_per_channel_) & (channels_ - 1));
           li %= lines_per_channel_;
           break;
       }
     }
+    return li;
+  }
+
+  Location decode(Addr a) const {
+    Location loc;
+    loc.channel = channel_of(a);
+    const u64 li = local_line_index(a);
     loc.bank = static_cast<u32>(li & (banks_ - 1));
     const u64 above = li >> log2_pow2(banks_);
     loc.rank = static_cast<u32>(above % ranks_);

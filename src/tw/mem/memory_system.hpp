@@ -40,6 +40,7 @@
 #include "tw/fault/fault_model.hpp"
 #include "tw/mem/address_map.hpp"
 #include "tw/mem/controller.hpp"
+#include "tw/mem/dram_tier.hpp"
 #include "tw/mem/interface.hpp"
 #include "tw/schemes/write_scheme.hpp"
 #include "tw/sim/sharded.hpp"
@@ -68,10 +69,14 @@ class MemorySystem : public MemoryInterface {
   /// `xbar_latency` is both the modeled XBar hop latency and the sharded
   /// quantum; `sim_threads` caps pool threads for the channel phase (0 =
   /// all).
+  /// `dram` optionally fronts every channel with a DramTier absorbing
+  /// hot lines before the PCM write path; the default (disabled) keeps
+  /// every code path bit-identical to a system without the tier.
   MemorySystem(sim::Simulator& front_sim, const pcm::PcmConfig& pcm,
                const ControllerConfig& ccfg, const SchemeFactory& factory,
                stats::Registry& registry, const fault::FaultConfig& fault,
-               u64 seed, double ones_bias, Tick xbar_latency, u32 sim_threads);
+               u64 seed, double ones_bias, Tick xbar_latency, u32 sim_threads,
+               const DramConfig& dram = {});
   ~MemorySystem() override;
 
   // MemoryInterface (front-side, called from the front domain).
@@ -97,6 +102,13 @@ class MemorySystem : public MemoryInterface {
   /// Channel c's private registry (nullptr for channels == 1, where the
   /// controller registers in the main registry directly).
   stats::Registry* channel_registry(u32 c) { return chans_[c].reg.get(); }
+
+  /// True when the DRAM front tier is active.
+  bool dram_active() const { return dram_on_; }
+  /// Channel c's DRAM tier (nullptr when the tier is disabled).
+  DramTier* dram_tier(u32 c) {
+    return dram_on_ ? tiers_[c].get() : nullptr;
+  }
 
   /// Fold per-channel registries into the main registry in channel order.
   /// No-op for channels == 1 (stats already live there). Call once after
@@ -132,6 +144,13 @@ class MemorySystem : public MemoryInterface {
   void drain_backlog(u32 c);
   void post_credit(u32 c, bool is_write);
   void release_credit(u32 c, bool is_write);
+  /// Completion dispatch on the front domain: routes through the DRAM
+  /// tier when it is active (swallowing tier writebacks), else straight
+  /// to the user callbacks.
+  void front_read_complete(u32 c, const MemoryRequest& req);
+  void front_write_complete(u32 c, const MemoryRequest& req);
+  /// Build and install channel c's DRAM tier (forward fn + callbacks).
+  void wire_dram(u32 c, const DramConfig& dram);
 
   sim::Simulator& front_;
   stats::Registry& main_reg_;
@@ -141,6 +160,10 @@ class MemorySystem : public MemoryInterface {
   u32 wq_entries_;
   std::vector<Channel> chans_;
   std::unique_ptr<sim::ShardedEngine> engine_;  ///< null for channels == 1
+  /// DRAM front tiers, one per channel (empty when dram.enabled=false so
+  /// the disabled configuration is a pure passthrough).
+  std::vector<std::unique_ptr<DramTier>> tiers_;
+  bool dram_on_ = false;
   bool starved_ = false;  ///< an enqueue failed since the last release
   trace::TraceRing* front_ring_ = nullptr;
 

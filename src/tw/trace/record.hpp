@@ -26,8 +26,9 @@ enum class Category : u8 {
   kMetrics = 5,     ///< periodic metrics snapshots (counter tracks)
   kFault = 6,       ///< fault injection: retries, failed lines, brown-outs
   kPalp = 7,        ///< partition-level parallelism: occupancy, overlaps
+  kDram = 8,        ///< DRAM front tier: hits, misses, writeback groups
 };
-inline constexpr u32 kCategoryCount = 8;
+inline constexpr u32 kCategoryCount = 9;
 
 constexpr u32 category_bit(Category c) { return 1u << static_cast<u32>(c); }
 
@@ -107,6 +108,15 @@ enum class Op : u16 {
                             ///< (arg0 = req id, arg1 = active writes)
   kPalpBatchSpread = 116,   ///< batch gathered under PALP (arg0 = lines,
                             ///< arg1 = distinct partitions)
+  // kDram
+  kDramHit = 128,         ///< request absorbed by the tier (arg0 = line,
+                          ///< arg1 = 1 for writes)
+  kDramMiss = 129,        ///< tier miss (arg0 = line, arg1 = 1 for writes)
+  kDramWriteback = 130,   ///< dirty victim queued toward PCM (arg0 = line)
+  kDramCleanEvict = 131,  ///< clean victim dropped, no PCM traffic
+                          ///< (arg0 = line)
+  kDramGroupEvict = 132,  ///< MAC same-bank dirty group written back
+                          ///< (arg0 = lines, arg1 = flat PCM bank)
 };
 
 /// Visualization track domains (Chrome pid); the low 24 bits of a track id
@@ -124,8 +134,9 @@ enum class Track : u8 {
   kMetrics = 9,
   kFault = 10,
   kPalp = 11,  ///< per-bank pump occupancy (PALP)
+  kDram = 12,  ///< per-channel DRAM front tier activity
 };
-inline constexpr u32 kTrackDomains = 12;
+inline constexpr u32 kTrackDomains = 13;
 
 constexpr u32 track_id(Track domain, u32 index) {
   return (static_cast<u32>(domain) << 24) | (index & 0x00FFFFFFu);

@@ -51,6 +51,11 @@ const char* op_name(Op op) {
     case Op::kPalpPumpStall: return "palp_pump_stall";
     case Op::kPalpWriteOverlap: return "palp_write_overlap";
     case Op::kPalpBatchSpread: return "palp_batch_spread";
+    case Op::kDramHit: return "dram_hit";
+    case Op::kDramMiss: return "dram_miss";
+    case Op::kDramWriteback: return "dram_writeback";
+    case Op::kDramCleanEvict: return "dram_clean_evict";
+    case Op::kDramGroupEvict: return "dram_group_evict";
   }
   return "unknown";
 }
@@ -65,6 +70,7 @@ const char* category_name(Category c) {
     case Category::kMetrics: return "metrics";
     case Category::kFault: return "fault";
     case Category::kPalp: return "palp";
+    case Category::kDram: return "dram";
   }
   return "unknown";
 }
@@ -83,6 +89,7 @@ const char* track_domain_name(Track t) {
     case Track::kMetrics: return "metrics";
     case Track::kFault: return "fault";
     case Track::kPalp: return "palp";
+    case Track::kDram: return "dram";
   }
   return "unknown";
 }

@@ -97,6 +97,11 @@ void expect_identical(const harness::RunMetrics& a,
   EXPECT_EQ(a.palp_overlapped_reads, b.palp_overlapped_reads);
   EXPECT_EQ(a.palp_pump_stalls, b.palp_pump_stalls);
   EXPECT_EQ(a.palp_write_overlaps, b.palp_write_overlaps);
+  // DRAM front tier counters (zero whenever the tier is off).
+  EXPECT_EQ(a.dram_hits, b.dram_hits);
+  EXPECT_EQ(a.dram_misses, b.dram_misses);
+  EXPECT_EQ(a.dram_writebacks, b.dram_writebacks);
+  EXPECT_EQ(a.dram_clean_evicts, b.dram_clean_evicts);
 }
 
 TEST(Determinism, SameSeedSameStats) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "tw/common/env.hpp"
 #include "tw/common/rng.hpp"
 #include "tw/core/batch_packer.hpp"
 #include "tw/core/factory.hpp"
@@ -26,6 +27,14 @@ struct FuzzCase {
   std::vector<UnitCounts> counts;
   PackerConfig cfg;
 };
+
+/// Trial count for a randomized campaign: the in-tree default times the
+/// TW_FUZZ_SCALE extended-trial multiplier (nightly CI's long campaigns).
+int trials(int base) { return base * static_cast<int>(fuzz_scale_env()); }
+
+/// Campaign seed: the in-tree base plus the TW_FUZZ_SEED offset, so
+/// successive nightly runs explore fresh cases.
+u64 campaign_seed(u64 base) { return base + fuzz_seed_env(); }
 
 /// Copy-pasteable reproducer for a failing case.
 std::string reproducer(const FuzzCase& c) {
@@ -153,11 +162,11 @@ TEST(FuzzPacker, ExhaustiveTwoUnitEdgeGrid) {
 
 // ----------------------------------------------------- seeded-random --
 TEST(FuzzPacker, RandomCampaignAllOrdersAndBudgets) {
-  Rng rng(0xF422ull);
+  Rng rng(campaign_seed(0xF422ull));
   const PackOrder orders[] = {PackOrder::kFirstFitDecreasing,
                               PackOrder::kFirstFitArrival,
                               PackOrder::kBestFitDecreasing};
-  for (int trial = 0; trial < 20'000; ++trial) {
+  for (int trial = 0; trial < trials(20'000); ++trial) {
     FuzzCase c;
     c.cfg.k = 1 + static_cast<u32>(rng.next() % 8);
     c.cfg.l = 1 + static_cast<u32>(rng.next() % 4);
@@ -179,8 +188,8 @@ TEST(FuzzPacker, RandomCampaignAllOrdersAndBudgets) {
 TEST(FuzzPacker, ScheduleLengthNeverBeatsDemandLowerBound) {
   // Independent of verify_pack: the packed schedule must offer at least
   // as much budget x time as the total demand requires.
-  Rng rng(0xBEEFull);
-  for (int trial = 0; trial < 5'000; ++trial) {
+  Rng rng(campaign_seed(0xBEEFull));
+  for (int trial = 0; trial < trials(5'000); ++trial) {
     FuzzCase c;
     c.cfg.k = 8;
     c.cfg.l = 2;
@@ -215,7 +224,7 @@ TEST(FuzzPacker, RandomWritesMatchBitSerialOracle) {
     const auto scheme = make_scheme(kind, dev);
     verify::DifferentialChecker checker(*scheme);
     pcm::LineBuf line(units);
-    Rng rng(0x0DDCAFEull);
+    Rng rng(campaign_seed(0x0DDCAFEull));
 
     // Edge contents first: silent write, all-SET, all-RESET, alternating.
     const u64 edge_words[] = {0x0ull, ~0x0ull, 0xAAAA'AAAA'AAAA'AAAAull,
@@ -227,7 +236,7 @@ TEST(FuzzPacker, RandomWritesMatchBitSerialOracle) {
       checker.check_write(line, next);  // second write is silent
     }
     // Then a random campaign with edge-biased unit words.
-    for (int trial = 0; trial < 400; ++trial) {
+    for (int trial = 0; trial < trials(400); ++trial) {
       pcm::LogicalLine next(units);
       for (u32 u = 0; u < units; ++u) {
         u64 w = rng.next();
@@ -249,8 +258,8 @@ TEST(FuzzPacker, RetryReentryIsDeterministicAndBounded) {
   const pcm::PcmConfig dev = pcm::table2_config();
   const auto tetris = make_scheme(schemes::SchemeKind::kTetris, dev);
   const auto dcw = make_scheme(schemes::SchemeKind::kDcw, dev);
-  Rng rng(0x4E74ull);
-  for (int trial = 0; trial < 2'000; ++trial) {
+  Rng rng(campaign_seed(0x4E74ull));
+  for (int trial = 0; trial < trials(2'000); ++trial) {
     BitTransitions failed;
     failed.sets = static_cast<u32>(rng.next() % 513);
     failed.resets = static_cast<u32>(rng.next() % 513);
@@ -450,9 +459,9 @@ TEST(FuzzPacker, MultiLineJointPackCampaign) {
   // Random K-line batches (K up to 8, the ablation's largest setting)
   // against the Table II budget and squeezed budgets that force shared,
   // multi-pass, and overflow write units in one joint schedule.
-  Rng rng(0xBA7Cull);
+  Rng rng(campaign_seed(0xBA7Cull));
   for (const u32 budget : {128u, 64u, 32u}) {
-    for (int trial = 0; trial < 500; ++trial) {
+    for (int trial = 0; trial < trials(500); ++trial) {
       check_or_minimize_multi(random_multi_case(rng, 8, budget));
     }
   }
@@ -467,8 +476,8 @@ TEST(FuzzPacker, MultiLineDegenerateSingleLineMatchesPack) {
   pcfg.l = dev.l();
   pcfg.budget = dev.bank_power_budget();
   const BatchPacker bp(dev, BatchPackerOptions{});
-  Rng rng(0x1A7Cull);
-  for (int trial = 0; trial < 2'000; ++trial) {
+  Rng rng(campaign_seed(0x1A7Cull));
+  for (int trial = 0; trial < trials(2'000); ++trial) {
     MultiLineCase c = random_multi_case(rng, 1, pcfg.budget);
     std::vector<pcm::LineBuf*> ptrs{&c.lines[0]};
     const BatchPackOutcome out =

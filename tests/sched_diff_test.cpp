@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "reference_controller.hpp"
+#include "tw/common/env.hpp"
 #include "tw/common/rng.hpp"
 #include "tw/core/factory.hpp"
 #include "tw/harness/experiment.hpp"
@@ -210,9 +211,16 @@ struct Scenario {
 void run_scenario(const Scenario& sc) {
   pcm::PcmConfig pcm_cfg = pcm::table2_config();
   pcm_cfg.geometry.subarrays_per_bank = sc.subarrays_per_bank;
-  for (u32 s = 0; s < sc.seeds; ++s) {
-    SCOPED_TRACE(sc.name + " seed=" + std::to_string(s));
-    const auto stream = make_stream(0xC0FFEE + s * 977, sc.shape);
+  // Nightly CI multiplies the per-scenario seed count and offsets the
+  // stream seeds (TW_FUZZ_SCALE / TW_FUZZ_SEED in tw/common/env.hpp);
+  // the defaults keep the fast, fixed presubmit campaign. The trace
+  // carries the absolute stream seed so any divergence reproduces with
+  // a one-line local run.
+  const u32 seeds = sc.seeds * fuzz_scale_env();
+  for (u32 s = 0; s < seeds; ++s) {
+    const u64 stream_seed = 0xC0FFEE + fuzz_seed_env() + s * 977;
+    SCOPED_TRACE(sc.name + " stream_seed=" + std::to_string(stream_seed));
+    const auto stream = make_stream(stream_seed, sc.shape);
     const auto idx =
         run_one<Controller>(pcm_cfg, sc.cfg, sc.kind, stream);
     const auto ref =
