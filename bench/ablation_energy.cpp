@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "tw/core/factory.hpp"
+#include "tw/encode/encoded_scheme.hpp"
 #include "tw/pcm/energy.hpp"
 #include "tw/stats/accumulator.hpp"
 #include "tw/workload/generator.hpp"
@@ -22,7 +23,9 @@ int main(int argc, char** argv) {
   std::cout << "Ablation: programming energy per cache-line write "
                "(Table I, quantitative)\n"
             << "==========================================================="
-               "=============\n\n";
+               "=============\n"
+            << "(encoder pre-stage: " << encode::encoder_name(o.encoder)
+            << ")\n\n";
 
   AsciiTable t;
   t.set_header({"scheme", "bits/write", "energy/write (nJ)", "vs dcw",
@@ -45,7 +48,15 @@ int main(int argc, char** argv) {
       mem::DataStore store(cfg.geometry.units_per_line(), o.seed,
                            p.initial_ones_fraction);
       workload::TraceGenerator gen(p, cfg.geometry, 1, o.seed + 1);
-      const auto scheme = core::make_scheme(kind, cfg);
+      const auto scheme =
+          encode::wrap_scheme(core::make_scheme(kind, cfg), o.encoder);
+      if (scheme->transforms_content()) {
+        store.set_decoder(
+            scheme.get(), [](const void* ctx, const pcm::LineBuf& l) {
+              return static_cast<const schemes::WriteScheme*>(ctx)
+                  ->decode_stored(l);
+            });
+      }
       u64 n = 0;
       while (n < writes / 8) {
         const workload::TraceOp op = gen.next(0);

@@ -45,6 +45,8 @@ struct Options {
   bool dram = false;    ///< front PCM with the DRAM tier
   u32 dram_mb = 32;     ///< DRAM capacity in MB (total across channels)
   mem::DramPolicy dram_policy = mem::DramPolicy::kLru;
+  /// Content-encoder pre-stage in front of every scheme (kNone = off).
+  encode::EncoderKind encoder = encode::EncoderKind::kNone;
   bool quick = false;
 
   static Options parse(int argc, char** argv) {
@@ -142,6 +144,14 @@ struct Options {
           std::exit(2);
         }
         o.dram = true;
+      } else if (starts_with(arg, "--encoder=")) {
+        const auto k = encode::parse_encoder(value("--encoder="));
+        if (!k) {
+          std::cerr << "--encoder must be none|flip|wire|coset (got '"
+                    << value("--encoder=") << "')\n";
+          std::exit(2);
+        }
+        o.encoder = *k;
       } else if (starts_with(arg, "--trace-categories=")) {
         o.trace_categories =
             trace::parse_categories(value("--trace-categories="));
@@ -161,6 +171,7 @@ struct Options {
                      "--sim-threads=N "
                      "--subarrays=N --palp --palp-ways=N --palp-rww=N "
                      "--dram --dram-mb=N --dram-policy=lru|mac "
+                     "--encoder=none|flip|wire|coset "
                      "--csv=PATH --svg=PATH --json=PATH --trace=PATH "
                      "--trace-metrics=PATH --trace-categories=LIST "
                      "--fault-profile=none|light|heavy|stuck-bank\n";
@@ -240,6 +251,7 @@ inline harness::SystemConfig system_config(
   cfg.dram.enabled = o.dram;
   cfg.dram.capacity_bytes = u64{o.dram_mb} * 1024 * 1024;
   cfg.dram.policy = o.dram_policy;
+  cfg.encode.kind = o.encoder;
   return cfg;
 }
 

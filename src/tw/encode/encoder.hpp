@@ -1,0 +1,107 @@
+#pragma once
+// Content-aware encoder stage: per-unit codes applied to the logical data
+// *before* a write scheme plans cell pulses, so the bit statistics the
+// scheme packs against are cheaper to write (ROADMAP: DCA arXiv:2005.04753,
+// WIRE arXiv:2511.04928, compression + restricted coset arXiv:1711.08572).
+//
+// An Encoder maps each 64-bit data unit to a coded word plus a small
+// metadata tag (<= 8 bits, stored in the line's per-unit meta cells next
+// to the FNW flip tag); decoding is the exact inverse for every tag the
+// encoder can emit, for any payload. Encoders are pure functions of
+// (logical word, stored cells, stored tag) — deterministic, stateless,
+// zero-alloc — so retries re-encode to the identical coded image and one
+// instance serves all banks of a channel.
+//
+// Composition with the write schemes is a decorator (EncodedScheme in
+// encoded_scheme.hpp): the scheme underneath sees only coded words and
+// stays oblivious, including FNW inversion on top of the coded payload.
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "tw/common/assert.hpp"
+#include "tw/common/bits.hpp"
+#include "tw/common/types.hpp"
+#include "tw/pcm/params.hpp"
+
+namespace tw::encode {
+
+/// Identifiers for the built-in encoders.
+enum class EncoderKind : u8 {
+  kNone,   ///< identity: schemes run bare, bit-identical to pre-encoder
+  kFlip,   ///< FNW inversion as a composable pre-stage (degenerate case)
+  kWire,   ///< WIRE-style energy-minimizing XOR codebook
+  kCoset,  ///< word compression + restricted coset selection
+};
+
+/// Encoder selection carried by SystemConfig ("encode.*" config keys,
+/// --encoder= on the bench binaries). Default off: the write path builds
+/// no encoder objects at all and stays bit-identical to pre-encoder runs.
+struct EncodeConfig {
+  EncoderKind kind = EncoderKind::kNone;
+
+  bool enabled() const { return kind != EncoderKind::kNone; }
+};
+
+/// A per-unit content code. choose/apply/recover must satisfy, for every
+/// logical word x, stored state (old_cells, old_meta) and bits in [1,64]:
+///
+///   m = choose(x, old_cells, old_meta, bits)   is deterministic,
+///   m < (1 << meta_bits()),
+///   recover(apply(x, m, old_cells, bits), m, bits) == (x & low_mask(bits))
+///     for every m that choose() can return for x (XOR codebooks satisfy
+///     this for all tags; restricted codes like the coset compressor only
+///     emit tags whose inverse exists for that payload), and
+///   apply/recover confine themselves to the low `bits` of the word.
+///
+/// `old_cells` lets cost-driven encoders minimize transitions against the
+/// current cell image and lets compression encoders fill don't-care bit
+/// positions with the already-stored values (zero pulses under
+/// changed-cell schemes). Cost comparisons must include the metadata-cell
+/// transitions from `old_meta`, so re-storing the same value keeps the
+/// stored code (silent-write stability) and retries re-encode identically.
+class Encoder {
+ public:
+  explicit Encoder(const pcm::PcmConfig& cfg) : cfg_(cfg) {}
+  virtual ~Encoder() = default;
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  virtual std::string_view name() const = 0;
+  virtual EncoderKind kind() const = 0;
+
+  /// Significant bits in the metadata tag (1..8).
+  virtual u32 meta_bits() const = 0;
+
+  /// Pick the code for storing `logical` over (old_cells, old_meta).
+  virtual u8 choose(u64 logical, u64 old_cells, u8 old_meta,
+                    u32 bits) const = 0;
+
+  /// Coded word stored for `logical` under code `meta`.
+  virtual u64 apply(u64 logical, u8 meta, u64 old_cells, u32 bits) const = 0;
+
+  /// Exact inverse: the logical word a stored coded payload decodes to.
+  virtual u64 recover(u64 coded, u8 meta, u32 bits) const = 0;
+
+ protected:
+  pcm::PcmConfig cfg_;
+};
+
+/// Canonical short name ("none", "flip", "wire", "coset").
+std::string_view encoder_name(EncoderKind kind);
+
+/// Parse a canonical name; nullopt for unknown strings.
+std::optional<EncoderKind> parse_encoder(std::string_view name);
+
+/// Every kind, kNone first (the bench matrix sweep order).
+std::vector<EncoderKind> all_encoder_kinds();
+
+/// Construct an encoder instance. kNone returns nullptr: no encoder
+/// object exists on the encoder-off path.
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind,
+                                      const pcm::PcmConfig& cfg);
+
+}  // namespace tw::encode

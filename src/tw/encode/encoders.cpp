@@ -1,0 +1,239 @@
+#include "tw/encode/encoder.hpp"
+
+#include "tw/encode/flip_rule.hpp"
+
+namespace tw::encode {
+
+namespace {
+
+/// SET/RESET-weighted pulse cost of writing `next` over `old_v`, in
+/// SET-current units (RESET draws L x the SET current — the same asymmetry
+/// constant the content-aware scheme variants pack against).
+u32 weighted_cost(u64 old_v, u64 next, u32 l) {
+  const BitTransitions t = transitions(old_v, next);
+  return t.sets + t.resets * l;
+}
+
+/// Cost of re-programming the metadata cells from tag `old_m` to `m`.
+/// Included in every candidate's cost so that (a) re-storing an unchanged
+/// value keeps the stored code — the zero-cost candidate is unique — and
+/// (b) code churn pays for its tag pulses instead of flapping for free.
+u32 meta_cost(u8 old_m, u8 m, u32 meta_bits, u32 l) {
+  const u64 mask = low_mask(meta_bits);
+  return weighted_cost(old_m & mask, m & mask, l);
+}
+
+// ---------------------------------------------------------------------------
+// FlipEncoder: FNW inversion as a pre-stage (the degenerate content code).
+// meta bit 0 is exactly the FNW flip tag; choose() runs the shared
+// flip_wins() rule, so FlipEncoder-over-DCW reproduces FNW's stored cells
+// and data-cell transitions bit for bit (locked by tests/encode_test.cpp).
+// ---------------------------------------------------------------------------
+class FlipEncoder final : public Encoder {
+ public:
+  using Encoder::Encoder;
+
+  std::string_view name() const override { return "flip"; }
+  EncoderKind kind() const override { return EncoderKind::kFlip; }
+  u32 meta_bits() const override { return 1; }
+
+  u8 choose(u64 logical, u64 old_cells, u8 old_meta, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    const u32 d = hamming(logical & mask, old_cells & mask);
+    return flip_wins(d, (old_meta & 1u) != 0, bits) ? 1u : 0u;
+  }
+
+  u64 apply(u64 logical, u8 meta, u64 /*old_cells*/, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    return ((meta & 1u) != 0 ? ~logical : logical) & mask;
+  }
+
+  u64 recover(u64 coded, u8 meta, u32 bits) const override {
+    // Conditional complement is an involution: recover == apply.
+    const u64 mask = low_mask(bits);
+    return ((meta & 1u) != 0 ? ~coded : coded) & mask;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// WireEncoder: WIRE-style energy-minimizing codebook (arXiv:2511.04928
+// spirit). Each unit is stored XORed with one of four masks — identity,
+// complement, and the two alternating patterns — and the codebook entry
+// minimizing the SET/RESET-weighted transition cost against the stored
+// cells (metadata pulses included) is chosen. XOR codes are involutions,
+// so decode re-applies the stored mask.
+// ---------------------------------------------------------------------------
+class WireEncoder final : public Encoder {
+ public:
+  using Encoder::Encoder;
+
+  std::string_view name() const override { return "wire"; }
+  EncoderKind kind() const override { return EncoderKind::kWire; }
+  u32 meta_bits() const override { return 2; }
+
+  u8 choose(u64 logical, u64 old_cells, u8 old_meta, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    const u32 l = cfg_.l();
+    logical &= mask;
+    old_cells &= mask;
+    u8 best = old_meta & 3u;
+    u32 best_cost = weighted_cost(old_cells, (logical ^ code(best)) & mask, l) +
+                    meta_cost(old_meta, best, meta_bits(), l);
+    for (u8 m = 0; m < 4; ++m) {
+      if (m == best) continue;
+      const u32 cost = weighted_cost(old_cells, (logical ^ code(m)) & mask, l) +
+                       meta_cost(old_meta, m, meta_bits(), l);
+      if (cost < best_cost) {
+        best = m;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  u64 apply(u64 logical, u8 meta, u64 /*old_cells*/, u32 bits) const override {
+    return (logical ^ code(meta)) & low_mask(bits);
+  }
+
+  u64 recover(u64 coded, u8 meta, u32 bits) const override {
+    return (coded ^ code(meta)) & low_mask(bits);
+  }
+
+ private:
+  static u64 code(u8 meta) {
+    constexpr u64 kCodebook[4] = {
+        0x0000000000000000ull,  // identity
+        0xffffffffffffffffull,  // complement (FNW's code)
+        0xaaaaaaaaaaaaaaaaull,  // alternating, odd bits
+        0x5555555555555555ull,  // alternating, even bits
+    };
+    return kCodebook[meta & 3u];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CosetEncoder: word-level compression + restricted coset selection
+// (arXiv:1711.08572 spirit). A unit whose high half is constant (sign
+// extension / leading zeros — the dominant pattern in compressible data)
+// compresses to its low half; the freed high cells become don't-cares
+// filled with their currently stored values (zero pulses under
+// changed-cell schemes), and the freed metadata budget selects one of four
+// XOR cosets over the payload to dodge expensive transitions.
+//
+// Tag layout (4 bits): bit0 = compressed, bit1 = high-half fill value
+// (the "sign"), bits2-3 = coset index. Tag 0 is the identity fallback for
+// incompressible words.
+// ---------------------------------------------------------------------------
+class CosetEncoder final : public Encoder {
+ public:
+  using Encoder::Encoder;
+
+  std::string_view name() const override { return "coset"; }
+  EncoderKind kind() const override { return EncoderKind::kCoset; }
+  u32 meta_bits() const override { return 4; }
+
+  u8 choose(u64 logical, u64 old_cells, u8 old_meta, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    const u32 l = cfg_.l();
+    logical &= mask;
+    old_cells &= mask;
+    u8 best = 0;
+    u32 best_cost = weighted_cost(old_cells, logical, l) +
+                    meta_cost(old_meta, 0, meta_bits(), l);
+    const u32 low = bits / 2;
+    const u64 lmask = low_mask(low);
+    const u64 hmask = mask ^ lmask;
+    const u64 top = logical & hmask;
+    if (top != 0 && top != hmask) return best;  // incompressible: identity
+    const u8 sign = top == 0 ? 0u : 1u;
+    for (u8 c = 0; c < 4; ++c) {
+      const u8 m = static_cast<u8>(1u | (sign << 1) | (c << 2));
+      // High cells keep their stored values (don't-care fill), so only the
+      // payload half and the tag cells can pulse.
+      const u64 coded = ((logical ^ coset(c)) & lmask) | (old_cells & hmask);
+      const u32 cost = weighted_cost(old_cells, coded, l) +
+                       meta_cost(old_meta, m, meta_bits(), l);
+      if (cost < best_cost) {
+        best = m;
+        best_cost = cost;
+      }
+    }
+    return best;
+  }
+
+  u64 apply(u64 logical, u8 meta, u64 old_cells, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    if ((meta & 1u) == 0) return logical & mask;
+    const u64 lmask = low_mask(bits / 2);
+    return ((logical ^ coset(coset_index(meta))) & lmask) |
+           (old_cells & (mask ^ lmask));
+  }
+
+  u64 recover(u64 coded, u8 meta, u32 bits) const override {
+    const u64 mask = low_mask(bits);
+    if ((meta & 1u) == 0) return coded & mask;
+    const u64 lmask = low_mask(bits / 2);
+    const u64 payload = (coded ^ coset(coset_index(meta))) & lmask;
+    const bool sign = (meta & 2u) != 0;
+    return sign ? payload | (mask ^ lmask) : payload;
+  }
+
+ private:
+  static u8 coset_index(u8 meta) { return (meta >> 2) & 3u; }
+
+  static u64 coset(u8 idx) {
+    constexpr u64 kCosets[4] = {
+        0x0000000000000000ull,
+        0xffffffffffffffffull,
+        0xaaaaaaaaaaaaaaaaull,
+        0x5555555555555555ull,
+    };
+    return kCosets[idx & 3u];
+  }
+};
+
+}  // namespace
+
+std::string_view encoder_name(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kNone:
+      return "none";
+    case EncoderKind::kFlip:
+      return "flip";
+    case EncoderKind::kWire:
+      return "wire";
+    case EncoderKind::kCoset:
+      return "coset";
+  }
+  TW_FAIL("unknown encoder kind");
+}
+
+std::optional<EncoderKind> parse_encoder(std::string_view name) {
+  if (name == "none") return EncoderKind::kNone;
+  if (name == "flip") return EncoderKind::kFlip;
+  if (name == "wire") return EncoderKind::kWire;
+  if (name == "coset") return EncoderKind::kCoset;
+  return std::nullopt;
+}
+
+std::vector<EncoderKind> all_encoder_kinds() {
+  return {EncoderKind::kNone, EncoderKind::kFlip, EncoderKind::kWire,
+          EncoderKind::kCoset};
+}
+
+std::unique_ptr<Encoder> make_encoder(EncoderKind kind,
+                                      const pcm::PcmConfig& cfg) {
+  switch (kind) {
+    case EncoderKind::kNone:
+      return nullptr;
+    case EncoderKind::kFlip:
+      return std::make_unique<FlipEncoder>(cfg);
+    case EncoderKind::kWire:
+      return std::make_unique<WireEncoder>(cfg);
+    case EncoderKind::kCoset:
+      return std::make_unique<CosetEncoder>(cfg);
+  }
+  TW_FAIL("unknown encoder kind");
+}
+
+}  // namespace tw::encode

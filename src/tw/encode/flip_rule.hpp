@@ -1,0 +1,33 @@
+#pragma once
+// The Flip-N-Write inversion rule (Cho & Lee, MICRO'09), factored out of
+// the scheme implementations so it is shared verbatim by
+//
+//   * schemes::plan_unit / plan_line — the per-unit write preparation the
+//     FNW-criterion schemes run on their read stage, and
+//   * encode::FlipEncoder — the degenerate content-aware encoder that
+//     reproduces FNW inversion as a composable pre-stage.
+//
+// Keeping one definition is what makes the refactor bit-identical: both
+// callers compare the same two costs over the same operands.
+
+#include "tw/common/types.hpp"
+
+namespace tw::encode {
+
+/// True when storing the inverted word wins the FNW cost comparison.
+///
+/// `changed` is the Hamming distance between the new logical word and the
+/// currently stored cells (data cells only); `old_tag` is the stored
+/// flip-tag state and `bits` the data-unit width. The cost of storing
+/// {D, tag=0} is `changed` plus one tag pulse if the tag must clear; the
+/// cost of {~D, tag=1} is `bits - changed` (the complement identity
+/// hamming(~D, old) == bits - hamming(D, old)) plus one tag pulse if the
+/// tag must set. Inversion wins only on strictly lower cost — the paper's
+/// "more than half the bits change" criterion with tag-aware tie-breaks.
+constexpr bool flip_wins(u32 changed, bool old_tag, u32 bits) {
+  const u32 cost_plain = changed + (old_tag ? 1u : 0u);
+  const u32 cost_flip = (bits - changed) + (old_tag ? 0u : 1u);
+  return cost_flip < cost_plain;
+}
+
+}  // namespace tw::encode

@@ -219,6 +219,16 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v) {
          c.dram.mac_group = static_cast<u32>(to_u64(v));
        }},
+      // -- content-encoder pre-stage ---------------------------------------
+      {"encode.kind",
+       [](SystemConfig& c, const std::string& v) {
+         const auto k = encode::parse_encoder(to_lower(v));
+         if (!k) {
+           throw std::runtime_error(
+               "encode.kind must be none|flip|wire|coset");
+         }
+         c.encode.kind = *k;
+       }},
       // -- multi-line batch packing ---------------------------------------
       {"batch.max_lines",
        [](SystemConfig& c, const std::string& v) {
@@ -445,6 +455,11 @@ void write_system_config(const SystemConfig& cfg, std::ostream& out) {
     out << "dram.banks = " << cfg.dram.banks << "\n";
     out << "dram.pending_limit = " << cfg.dram.pending_limit << "\n";
     out << "dram.mac_group = " << cfg.dram.mac_group << "\n";
+  }
+  if (cfg.encode.enabled()) {
+    // Only emitted when an encoder is on, so encoder-off dumps are
+    // unchanged.
+    out << "encode.kind = " << encode::encoder_name(cfg.encode.kind) << "\n";
   }
   out << "batch.max_lines = " << cfg.batch.max_lines << "\n";
   out << "core.clock_ps = " << cfg.core.clock_period << "\n";

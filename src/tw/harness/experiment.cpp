@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "tw/common/version.hpp"
+#include "tw/encode/encoded_scheme.hpp"
 #include "tw/fault/fault_model.hpp"
 #include "tw/mem/memory_system.hpp"
 #include "tw/stats/registry.hpp"
@@ -222,6 +223,22 @@ void add_palp_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
                  epoch_delta("mem.palp_write_overlaps"));
 }
 
+/// Per-epoch content-encoder gauges; only registered when an encoder is
+/// configured so encoder-off traces keep their exact column set.
+void add_encode_gauges(trace::MetricsSnapshotter& snap, stats::Registry& reg) {
+  const auto epoch_delta = [&reg](const char* name) {
+    return [&reg, name, prev = 0.0]() mutable {
+      const double t = static_cast<double>(reg.counter(name).value());
+      const double d = t - prev;
+      prev = t;
+      return d;
+    };
+  };
+  snap.add_gauge("enc_writes_epoch", epoch_delta("mem.enc_writes"));
+  snap.add_gauge("enc_coded_units_epoch", epoch_delta("mem.enc_coded_units"));
+  snap.add_gauge("enc_tag_bits_epoch", epoch_delta("mem.enc_tag_bits"));
+}
+
 }  // namespace
 
 u64 config_hash(const SystemConfig& cfg) {
@@ -312,6 +329,12 @@ u64 config_hash(const SystemConfig& cfg) {
     h = mix(h, cfg.dram.pending_limit);
     h = mix(h, cfg.dram.mac_group);
   }
+  // Content encoder: mixed only when enabled so every encoder-off config
+  // keeps the hash it had before the encoder stage existed.
+  if (cfg.encode.enabled()) {
+    h = mix(h, 2);
+    h = mix(h, static_cast<u64>(cfg.encode.kind));
+  }
   return h;
 }
 
@@ -322,9 +345,12 @@ RunMetrics run_system(const SystemConfig& cfg,
   stats::Registry reg;
 
   // The factory gives every channel its own scheme instance (schemes
-  // carry mutable planning state); channels == 1 builds exactly one.
+  // carry mutable planning state); channels == 1 builds exactly one. The
+  // configured content encoder wraps each instance as a pre-stage
+  // (wrap_scheme is the identity for EncoderKind::kNone).
   const mem::SchemeFactory factory = [&](u32) {
-    return core::make_scheme(kind, cfg.pcm, cfg.tetris);
+    return encode::wrap_scheme(core::make_scheme(kind, cfg.pcm, cfg.tetris),
+                               cfg.encode.kind);
   };
   mem::ControllerConfig ccfg = cfg.controller;
   // batch.max_lines is the canonical multi-line knob: when set it bounds
@@ -368,6 +394,9 @@ RunMetrics run_system(const SystemConfig& cfg,
       add_palp_gauges(*snapshotter, reg);
     }
     if (msys.dram_active()) add_dram_gauges(*snapshotter, reg);
+    if (cfg.encode.enabled() && channels == 1) {
+      add_encode_gauges(*snapshotter, reg);
+    }
     snapshotter->start();
   }
 
@@ -475,6 +504,9 @@ RunMetrics run_system(const SystemConfig& cfg,
   m.dram_misses = reg.counter("mem.dram_misses").value();
   m.dram_writebacks = reg.counter("mem.dram_writebacks").value();
   m.dram_clean_evicts = reg.counter("mem.dram_clean_evicts").value();
+  m.enc_writes = reg.counter("mem.enc_writes").value();
+  m.enc_coded_units = reg.counter("mem.enc_coded_units").value();
+  m.enc_tag_bits = reg.counter("mem.enc_tag_bits").value();
   return m;
 }
 

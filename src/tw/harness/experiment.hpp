@@ -7,6 +7,7 @@
 
 #include "tw/core/factory.hpp"
 #include "tw/cpu/multicore.hpp"
+#include "tw/encode/encoder.hpp"
 #include "tw/fault/fault.hpp"
 #include "tw/mem/controller.hpp"
 #include "tw/mem/dram_tier.hpp"
@@ -52,6 +53,7 @@ struct SystemConfig {
   fault::FaultConfig fault;            ///< fault injection (off by default)
   BatchConfig batch;                   ///< multi-line batch packing
   mem::DramConfig dram;                ///< DRAM front tier (off by default)
+  encode::EncodeConfig encode;         ///< content encoder (off by default)
   TraceConfig trace;                   ///< structured tracing (off by default)
   u32 cores = 4;
   u64 instructions_per_core = 200'000;
@@ -126,6 +128,10 @@ struct RunMetrics {
   u64 dram_misses = 0;        ///< requests that went to the PCM path
   u64 dram_writebacks = 0;    ///< dirty lines written back to PCM
   u64 dram_clean_evicts = 0;  ///< clean victims dropped without PCM traffic
+  // Content-encoder pre-stage (zero when no encoder was configured).
+  u64 enc_writes = 0;       ///< line writes that went through the encoder
+  u64 enc_coded_units = 0;  ///< units stored under a non-identity code
+  u64 enc_tag_bits = 0;     ///< encoder metadata cells pulsed
 };
 
 /// Run one cell. Deterministic in (cfg.seed, profile, kind).

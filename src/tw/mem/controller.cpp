@@ -41,6 +41,13 @@ constexpr auto kPalpCat = trace::Category::kPalp;
 constexpr u32 palp_track(u32 base, u32 bank) {
   return trace::track_id(trace::Track::kPalp, base + bank);
 }
+// Content-encoder pre-stage emissions. Gated on plan.enc.active, so
+// encoder-off runs emit nothing and their trace bytes stay identical to
+// builds without the encoder stage.
+constexpr auto kEncodeCat = trace::Category::kEncode;
+constexpr u32 encode_track(u32 base, u32 bank) {
+  return trace::track_id(trace::Track::kEncode, base + bank);
+}
 }  // namespace
 
 Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
@@ -93,6 +100,9 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       c_palp_overlap_reads_(registry.counter("mem.palp_overlapped_reads")),
       c_palp_pump_stalls_(registry.counter("mem.palp_pump_stalls")),
       c_palp_write_overlaps_(registry.counter("mem.palp_write_overlaps")),
+      c_enc_writes_(registry.counter("mem.enc_writes")),
+      c_enc_coded_units_(registry.counter("mem.enc_coded_units")),
+      c_enc_tag_bits_(registry.counter("mem.enc_tag_bits")),
       a_read_latency_(registry.accumulator("mem.read_latency_ns")),
       a_write_latency_(registry.accumulator("mem.write_latency_ns")),
       a_write_units_(registry.accumulator("mem.write_units")),
@@ -105,6 +115,16 @@ Controller::Controller(sim::Simulator& sim, const pcm::PcmConfig& pcm_cfg,
       h_write_latency_(registry.histogram("mem.write_latency_hist_ns")) {
   TW_EXPECTS(cfg_.valid());
   pcm_.validate();
+  if (scheme_.transforms_content()) {
+    // The scheme stores a coded image (content-encoder pre-stage): route
+    // every logical readback — demand reads, gap-move migration, the
+    // generator's read-modify-write stream — through its decoder.
+    store_.set_decoder(&scheme_,
+                       [](const void* ctx, const pcm::LineBuf& l) {
+                         return static_cast<const schemes::WriteScheme*>(ctx)
+                             ->decode_stored(l);
+                       });
+  }
   read_ready_.reserve(map_.total_subarrays());
   if (palp_on_) {
     for (auto& v : palp_active_) v.reserve(cfg_.palp.write_ways);
@@ -944,6 +964,16 @@ void Controller::issue_write(MemoryRequest req, Tick service_override) {
     c_writes_.inc();
     if (plan.silent) c_silent_.inc();
     c_flipped_units_.inc(plan.flipped_units);
+    if (plan.enc.active) {
+      c_enc_writes_.inc();
+      c_enc_coded_units_.inc(plan.enc.coded_units);
+      c_enc_tag_bits_.inc(plan.enc.tag_bits);
+      if (trace::on<kEncodeCat>()) {
+        trace::emit_instant(kEncodeCat, trace::Op::kEncodeLine,
+                            encode_track(cfg_.track_base, bank), now,
+                            plan.enc.coded_units, plan.enc.tag_bits);
+      }
+    }
     energy_.add_write(plan.programmed);
     if (plan.background.total() > 0) {
       energy_.add_write(plan.background);
@@ -1095,6 +1125,16 @@ void Controller::issue_write_batch(std::vector<MemoryRequest> reqs) {
     c_batched_.inc();
     if (plan.silent) c_silent_.inc();
     c_flipped_units_.inc(plan.flipped_units);
+    if (plan.enc.active) {
+      c_enc_writes_.inc();
+      c_enc_coded_units_.inc(plan.enc.coded_units);
+      c_enc_tag_bits_.inc(plan.enc.tag_bits);
+      if (trace::on<kEncodeCat>()) {
+        trace::emit_instant(kEncodeCat, trace::Op::kEncodeLine,
+                            encode_track(cfg_.track_base, bank), now,
+                            plan.enc.coded_units, plan.enc.tag_bits);
+      }
+    }
     energy_.add_write(plan.programmed);
     if (plan.background.total() > 0) {
       energy_.add_write(plan.background);

@@ -445,6 +445,9 @@ class Controller : public MemoryInterface {
   stats::Counter& c_palp_overlap_reads_;
   stats::Counter& c_palp_pump_stalls_;
   stats::Counter& c_palp_write_overlaps_;
+  stats::Counter& c_enc_writes_;
+  stats::Counter& c_enc_coded_units_;
+  stats::Counter& c_enc_tag_bits_;
   stats::Accumulator& a_read_latency_;
   stats::Accumulator& a_write_latency_;
   stats::Accumulator& a_write_units_;

@@ -37,8 +37,23 @@ class DataStore {
   pcm::LineBuf& line(Addr line_addr);
 
   /// Read-only logical view of a line (materializes on first touch).
+  /// Routed through the installed decoder when the write scheme stores a
+  /// transformed image (content-encoder pre-stage); the default is the
+  /// plain flip-tag inversion of LogicalLine::from_physical.
   pcm::LogicalLine read_logical(Addr line_addr) {
-    return pcm::LogicalLine::from_physical(line(line_addr));
+    pcm::LineBuf& l = line(line_addr);
+    if (decoder_fn_ != nullptr) return decoder_fn_(decoder_ctx_, l);
+    return pcm::LogicalLine::from_physical(l);
+  }
+
+  /// Install the logical-view decoder (the Controller wires the scheme's
+  /// decode_stored here when the scheme transforms stored content). A raw
+  /// context + function pair rather than std::function: read_logical sits
+  /// on the generator/gap-move hot path and must stay alloc-free.
+  using Decoder = pcm::LogicalLine (*)(const void* ctx, const pcm::LineBuf&);
+  void set_decoder(const void* ctx, Decoder fn) {
+    decoder_ctx_ = ctx;
+    decoder_fn_ = fn;
   }
 
   /// True if the line has been materialized.
@@ -59,6 +74,8 @@ class DataStore {
   u32 units_;
   u64 seed_;
   double ones_bias_;
+  const void* decoder_ctx_ = nullptr;
+  Decoder decoder_fn_ = nullptr;
   FlatIndexMap index_;
   std::vector<std::unique_ptr<pcm::LineBuf[]>> chunks_;
   u32 arena_size_ = 0;  ///< lines stored across all chunks

@@ -61,6 +61,20 @@ class LineBuf {
     flip_[i] = flipped;
   }
 
+  /// Per-unit content-encoder metadata tag (tw/encode/): which code the
+  /// encoder stored this unit under. Always 0 when no encoder is
+  /// configured — the tag cells physically exist next to the flip tag but
+  /// carry at most Encoder::meta_bits() significant bits.
+  u8 meta(u32 i) const {
+    TW_EXPECTS(i < units_);
+    return meta_[i];
+  }
+  void set_meta(u32 i, u8 m) {
+    TW_EXPECTS(i < units_);
+    meta_[i] = m;
+  }
+  std::span<const u8> meta_tags() const { return {meta_.data(), units_}; }
+
   std::span<const u64> cell_words() const {
     return {cells_.data(), units_};
   }
@@ -73,7 +87,10 @@ class LineBuf {
   bool operator==(const LineBuf& o) const {
     if (units_ != o.units_) return false;
     for (u32 i = 0; i < units_; ++i) {
-      if (cells_[i] != o.cells_[i] || flip_[i] != o.flip_[i]) return false;
+      if (cells_[i] != o.cells_[i] || flip_[i] != o.flip_[i] ||
+          meta_[i] != o.meta_[i]) {
+        return false;
+      }
     }
     return true;
   }
@@ -81,6 +98,7 @@ class LineBuf {
  private:
   std::array<u64, kMaxUnitsPerLine> cells_{};
   std::array<bool, kMaxUnitsPerLine> flip_{};
+  std::array<u8, kMaxUnitsPerLine> meta_{};
   u32 units_ = 0;
 };
 

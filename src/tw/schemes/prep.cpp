@@ -4,6 +4,7 @@
 
 #include "tw/common/assert.hpp"
 #include "tw/common/simd.hpp"
+#include "tw/encode/flip_rule.hpp"
 
 namespace tw::schemes {
 
@@ -19,16 +20,12 @@ UnitPlan plan_unit(u64 old_cells, bool old_tag, u64 new_logical,
     case FlipCriterion::kNone:
       flip = false;
       break;
-    case FlipCriterion::kHamming: {
+    case FlipCriterion::kHamming:
       // Cost of storing {D, tag=0} vs {~D, tag=1} over {D', F'}, counting
-      // the tag cell. Paper: invert when more than half the bits change.
-      const u32 cost_plain =
-          hamming(new_logical, old_cells) + (old_tag ? 1u : 0u);
-      const u32 cost_flip =
-          hamming((~new_logical) & mask, old_cells) + (old_tag ? 0u : 1u);
-      flip = cost_flip < cost_plain;
+      // the tag cell (encode::flip_wins, shared with FlipEncoder). Paper:
+      // invert when more than half the bits change.
+      flip = encode::flip_wins(hamming(new_logical, old_cells), old_tag, bits);
       break;
-    }
     case FlipCriterion::kMinimizeSets:
       // Minimize ones in the stored word (stage-1 SET count).
       flip = popcount(new_logical) * 2 > bits;
@@ -92,11 +89,7 @@ PlanVec plan_line(const pcm::LineBuf& line, const pcm::LogicalLine& next,
       for (u32 i = 0; i < units; ++i) stored[i] = old_w[i] ^ new_w[i];
       simd::popcount_each(stored, units, cnt_a, lv);
       for (u32 i = 0; i < units; ++i) {
-        const u32 d = cnt_a[i];
-        const bool old_tag = flips[i];
-        const u32 cost_plain = d + (old_tag ? 1u : 0u);
-        const u32 cost_flip = (bits - d) + (old_tag ? 0u : 1u);
-        pl[i].flip = cost_flip < cost_plain;
+        pl[i].flip = encode::flip_wins(cnt_a[i], flips[i], bits);
       }
       break;
     }

@@ -81,6 +81,14 @@ struct ServicePlan {
   /// Fraction of the power budget the scheduled slots actually drew
   /// (Tetris packing density; 0 for schemes without a packed schedule).
   double power_util = 0.0;
+  /// Content-encoder pre-stage accounting (tw/encode/). `active` is false
+  /// for bare schemes, so encoder-off runs carry no encoder state at all.
+  struct EncodeStats {
+    bool active = false;   ///< an encoder pre-stage transformed this write
+    u32 coded_units = 0;   ///< units stored under a non-identity code
+    u32 tag_bits = 0;      ///< encoder metadata cells pulsed
+  };
+  EncodeStats enc;
 };
 
 /// A batch of same-bank writes serviced together (batched Tetris packs
@@ -150,12 +158,27 @@ class WriteScheme {
   virtual Tick plan_retry(const BitTransitions& failed, u32 attempt,
                           double widen) const;
 
+  /// Reconstruct the logical data a CPU read returns from the stored
+  /// physical line. The base de-inverts flip tags; the encoder decorator
+  /// (tw/encode/EncodedScheme) additionally reverses its content code via
+  /// the per-unit metadata tags.
+  virtual pcm::LogicalLine decode_stored(const pcm::LineBuf& line) const {
+    return pcm::LogicalLine::from_physical(line);
+  }
+
+  /// True when stored cell words are a *transformed* image of the logical
+  /// data (content-encoder pre-stage), so readers must go through
+  /// decode_stored() rather than LogicalLine::from_physical(). Bare
+  /// schemes only invert (flip tags), which from_physical already undoes.
+  virtual bool transforms_content() const { return false; }
+
   /// Scale factor applied to the bank power budget by effective_budget()
   /// — the charge-pump brown-out hook. 1.0 (the default) must reproduce
   /// bank_power_budget() exactly; the controller sets a smaller factor
   /// around plan calls issued inside a brown-out window and restores 1.0
-  /// after.
-  void set_budget_scale(double scale) {
+  /// after. Virtual so decorator schemes (tw/encode/) can forward the
+  /// scale to the scheme that actually packs against the budget.
+  virtual void set_budget_scale(double scale) {
     TW_EXPECTS(scale > 0.0 && scale <= 1.0);
     budget_scale_ = scale;
   }

@@ -27,8 +27,9 @@ enum class Category : u8 {
   kFault = 6,       ///< fault injection: retries, failed lines, brown-outs
   kPalp = 7,        ///< partition-level parallelism: occupancy, overlaps
   kDram = 8,        ///< DRAM front tier: hits, misses, writeback groups
+  kEncode = 9,      ///< content-encoder pre-stage: coded units, tag pulses
 };
-inline constexpr u32 kCategoryCount = 9;
+inline constexpr u32 kCategoryCount = 10;
 
 constexpr u32 category_bit(Category c) { return 1u << static_cast<u32>(c); }
 
@@ -117,6 +118,9 @@ enum class Op : u16 {
                           ///< (arg0 = line)
   kDramGroupEvict = 132,  ///< MAC same-bank dirty group written back
                           ///< (arg0 = lines, arg1 = flat PCM bank)
+  // kEncode
+  kEncodeLine = 144,  ///< encoder pre-stage transformed a line write
+                      ///< (arg0 = units stored coded, arg1 = tag pulses)
 };
 
 /// Visualization track domains (Chrome pid); the low 24 bits of a track id
@@ -134,9 +138,10 @@ enum class Track : u8 {
   kMetrics = 9,
   kFault = 10,
   kPalp = 11,  ///< per-bank pump occupancy (PALP)
-  kDram = 12,  ///< per-channel DRAM front tier activity
+  kDram = 12,    ///< per-channel DRAM front tier activity
+  kEncode = 13,  ///< per-bank encoder pre-stage activity
 };
-inline constexpr u32 kTrackDomains = 13;
+inline constexpr u32 kTrackDomains = 14;
 
 constexpr u32 track_id(Track domain, u32 index) {
   return (static_cast<u32>(domain) << 24) | (index & 0x00FFFFFFu);

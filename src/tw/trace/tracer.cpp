@@ -56,6 +56,7 @@ const char* op_name(Op op) {
     case Op::kDramWriteback: return "dram_writeback";
     case Op::kDramCleanEvict: return "dram_clean_evict";
     case Op::kDramGroupEvict: return "dram_group_evict";
+    case Op::kEncodeLine: return "encode_line";
   }
   return "unknown";
 }
@@ -71,6 +72,7 @@ const char* category_name(Category c) {
     case Category::kFault: return "fault";
     case Category::kPalp: return "palp";
     case Category::kDram: return "dram";
+    case Category::kEncode: return "encode";
   }
   return "unknown";
 }
@@ -90,6 +92,7 @@ const char* track_domain_name(Track t) {
     case Track::kFault: return "fault";
     case Track::kPalp: return "palp";
     case Track::kDram: return "dram";
+    case Track::kEncode: return "encode";
   }
   return "unknown";
 }

@@ -119,12 +119,74 @@ u64 TraceGenerator::mutate_unit(u64 logical, Rng& rng) {
   return logical;
 }
 
+u64 TraceGenerator::compressible_unit(Rng& rng) {
+  // Narrow value: a random payload in the low half, sign-extended into a
+  // constant high half. Exactly what word-level compressors (and the
+  // coset encoder) are built to exploit.
+  const u32 half = unit_bits_ / 2;
+  const u64 payload = rng.next() & low_mask(half);
+  const u64 high = low_mask(unit_bits_) ^ low_mask(half);
+  return rng.chance(0.5) ? (payload | high) : payload;
+}
+
+u64 TraceGenerator::zipf_byte_unit(Rng& rng) {
+  // Bytes drawn from a skewed 256-symbol alphabet: u^3 concentrates mass
+  // on small byte values (text/pointer-like content) without a costly
+  // true-Zipf sampler.
+  u64 w = 0;
+  const u32 bytes = (unit_bits_ + 7) / 8;
+  for (u32 b = 0; b < bytes; ++b) {
+    const double u = rng.uniform();
+    const u64 byte = static_cast<u64>(255.0 * u * u * u);
+    w |= byte << (8 * b);
+  }
+  return w & low_mask(unit_bits_);
+}
+
+u64 TraceGenerator::adversarial_unit(u64 logical, Rng& rng) {
+  // Anti-code: flip exactly half the bits of the stored word. Hamming
+  // distance bits/2 is the worst case for inversion coding (flip saves
+  // nothing) and defeats narrow-value compression on average.
+  const u32 n = unit_bits_ / 2;
+  std::array<u8, 64> pos{};
+  for (u32 b = 0; b < unit_bits_; ++b) pos[b] = static_cast<u8>(b);
+  u64 w = logical & low_mask(unit_bits_);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 j = i + static_cast<u32>(rng.below(unit_bits_ - i));
+    std::swap(pos[i], pos[j]);
+    w ^= u64{1} << pos[i];
+  }
+  return w;
+}
+
 pcm::LogicalLine TraceGenerator::make_write_data(Addr addr,
                                                  mem::DataStore& store,
                                                  u32 core) {
   TW_EXPECTS(core < core_rng_.size());
   Rng& rng = core_rng_[core];
   pcm::LogicalLine next(units_per_line_);
+
+  switch (profile_.content) {
+    case ContentClass::kCompressible:
+      for (u32 u = 0; u < units_per_line_; ++u) {
+        next.set_word(u, compressible_unit(rng));
+      }
+      return next;
+    case ContentClass::kZipfByte:
+      for (u32 u = 0; u < units_per_line_; ++u) {
+        next.set_word(u, zipf_byte_unit(rng));
+      }
+      return next;
+    case ContentClass::kAdversarial: {
+      pcm::LogicalLine current = store.read_logical(addr);
+      for (u32 u = 0; u < units_per_line_; ++u) {
+        next.set_word(u, adversarial_unit(current.word(u), rng));
+      }
+      return next;
+    }
+    case ContentClass::kMutate:
+      break;  // the calibrated default below
+  }
 
   if (rng.chance(profile_.line_rewrite_prob)) {
     // Full-line rewrite: fresh content, ~half the cells change. This is

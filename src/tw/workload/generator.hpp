@@ -48,6 +48,9 @@ class TraceGenerator : public RequestSource {
   Addr pick_address(u32 core, Rng& rng);
   u64 mutate_unit(u64 logical, Rng& rng);
   u64 modulate_gap(u64 gap, u32 core, Rng& rng);
+  u64 compressible_unit(Rng& rng);
+  u64 zipf_byte_unit(Rng& rng);
+  u64 adversarial_unit(u64 logical, Rng& rng);
 
   WorkloadProfile profile_;
   u32 line_bytes_;

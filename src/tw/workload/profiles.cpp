@@ -79,6 +79,20 @@ const WorkloadProfile& profile_by_name(std::string_view name) {
   TW_FAIL(("unknown workload: " + std::string(name)).c_str());
 }
 
+const char* content_class_name(ContentClass c) {
+  switch (c) {
+    case ContentClass::kMutate:
+      return "mutate";
+    case ContentClass::kCompressible:
+      return "compressible";
+    case ContentClass::kZipfByte:
+      return "zipf";
+    case ContentClass::kAdversarial:
+      return "adversarial";
+  }
+  TW_FAIL("unknown content class");
+}
+
 double shared_fraction(Level sharing) {
   switch (sharing) {
     case Level::kLow:

@@ -23,6 +23,19 @@ namespace tw::workload {
 /// Qualitative levels from Table III.
 enum class Level : u8 { kLow, kMedium, kHigh };
 
+/// Write-content distribution class. kMutate is the paper-calibrated
+/// Figure 3 mixture (the default everywhere); the other classes open the
+/// content axis the encoder pre-stage (tw/encode/) is measured against.
+enum class ContentClass : u8 {
+  kMutate,        ///< Figure 3 rewrite/Poisson-mutation mixture
+  kCompressible,  ///< narrow values: constant high half (sign extension)
+  kZipfByte,      ///< bytes from a skewed 256-symbol alphabet
+  kAdversarial,   ///< anti-code: flips exactly half the bits every write
+};
+
+/// Canonical short name ("mutate", "compressible", "zipf", "adversarial").
+const char* content_class_name(ContentClass c);
+
 /// Statistical characterization of one workload.
 struct WorkloadProfile {
   std::string name;
@@ -38,6 +51,11 @@ struct WorkloadProfile {
   double line_rewrite_prob = 0.02;
   double mean_resets = 2.9;  ///< small-write RESETs per 64-bit unit
   double mean_sets = 6.7;    ///< small-write SETs per 64-bit unit
+
+  /// Payload distribution. All paper profiles use kMutate; the other
+  /// classes are synthetic axes for the encoder ablations and reuse the
+  /// profile's rate/burstiness/sharing parameters unchanged.
+  ContentClass content = ContentClass::kMutate;
 
   /// Figure 3 targets (per-unit counts after inversion, measured over the
   /// whole mixture). Locked by tests against the generator's output.

@@ -17,6 +17,8 @@
 #include "tw/core/factory.hpp"
 #include "tw/core/fsm.hpp"
 #include "tw/core/packer.hpp"
+#include "tw/encode/encoded_scheme.hpp"
+#include "tw/encode/encoder.hpp"
 #include "tw/verify/differential.hpp"
 #include "tw/verify/invariant_monitor.hpp"
 
@@ -521,6 +523,259 @@ TEST(FuzzPacker, MultiLineMinimizerShrinksToMinimalCase) {
     }
   }
   EXPECT_EQ(loud_units, 1u);
+}
+
+// ------------------------------------------- encoder-composed campaigns --
+// Fuzz layer for the content-encoder pre-stage (tw/encode/): random
+// encoder x scheme x data class, starting from arbitrary line states
+// (cells, flip tags, encoder metadata). Each case is cross-checked three
+// ways — end-to-end logical round trip through the decorator, the
+// bit-serial oracle over the independently re-derived coded stream, and
+// cell-exact agreement between the two paths — and failures shrink
+// through a greedy minimizer that prints a copy-pasteable reproducer.
+
+struct EncCase {
+  schemes::SchemeKind skind = schemes::SchemeKind::kDcw;
+  encode::EncoderKind ekind = encode::EncoderKind::kFlip;
+  pcm::LineBuf line{pcm::table2_config().geometry.units_per_line()};
+  pcm::LogicalLine next{pcm::table2_config().geometry.units_per_line()};
+};
+
+std::string enc_reproducer(const EncCase& c) {
+  std::ostringstream out;
+  out << "scheme=" << schemes::scheme_name(c.skind)
+      << " encoder=" << encode::encoder_name(c.ekind) << std::hex
+      << " cells={";
+  for (u32 u = 0; u < c.line.units(); ++u) {
+    out << (u ? "," : "") << c.line.cell(u) << (c.line.flip(u) ? "F" : "")
+        << "/m" << static_cast<int>(c.line.meta(u));
+  }
+  out << "} next={";
+  for (u32 u = 0; u < c.next.units(); ++u) {
+    out << (u ? "," : "") << c.next.word(u);
+  }
+  out << "}";
+  return out.str();
+}
+
+/// True when any encoder invariant breaks for this case: the decorator's
+/// stored image fails to decode back, the oracle rejects the coded
+/// stream, or the decorated line diverges from the shadow line driven
+/// through the bare scheme on the same codes.
+bool enc_broken(const EncCase& c) {
+  const pcm::PcmConfig dev = pcm::table2_config();
+  const u32 bits = dev.geometry.data_unit_bits;
+  try {
+    const auto wrapped =
+        encode::wrap_scheme(make_scheme(c.skind, dev), c.ekind);
+    const auto inner = make_scheme(c.skind, dev);
+    const auto enc = encode::make_encoder(c.ekind, dev);
+    pcm::LineBuf line = c.line;
+    pcm::LineBuf shadow = c.line;
+
+    wrapped->plan_write(line, c.next);
+    if (!(wrapped->decode_stored(line) == c.next)) return true;
+
+    verify::DifferentialChecker checker(*inner);
+    pcm::LogicalLine coded(c.next.units());
+    std::vector<u8> metas(c.next.units());
+    for (u32 u = 0; u < c.next.units(); ++u) {
+      metas[u] = enc->choose(c.next.word(u), shadow.logical(u),
+                             shadow.meta(u), bits);
+      coded.set_word(
+          u, enc->apply(c.next.word(u), metas[u], shadow.logical(u), bits));
+    }
+    checker.check_write(shadow, coded);
+    for (u32 u = 0; u < c.next.units(); ++u) {
+      if (line.cell(u) != shadow.cell(u)) return true;
+      if (line.flip(u) != shadow.flip(u)) return true;
+      if (line.meta(u) != metas[u]) return true;
+    }
+  } catch (const std::exception&) {
+    return true;
+  }
+  return false;
+}
+
+/// Greedy shrinking: silence units (next := the unit's decoded value),
+/// then flatten line state (zero cells, clear flips, zero metas), as long
+/// as the failure predicate keeps holding.
+EncCase minimize_enc(EncCase c,
+                     const std::function<bool(const EncCase&)>& fails) {
+  const pcm::PcmConfig dev = pcm::table2_config();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const auto wrapped =
+        encode::wrap_scheme(make_scheme(c.skind, dev), c.ekind);
+    const pcm::LogicalLine decoded = wrapped->decode_stored(c.line);
+    for (u32 u = 0; u < c.line.units(); ++u) {
+      if (c.next.word(u) != decoded.word(u)) {
+        EncCase quieter = c;
+        quieter.next.set_word(u, decoded.word(u));
+        if (fails(quieter)) {
+          c = std::move(quieter);
+          progress = true;
+          continue;
+        }
+      }
+      EncCase flat = c;
+      flat.line.set_cell(u, 0);
+      flat.line.set_flip(u, false);
+      flat.line.set_meta(u, 0);
+      const bool changed = c.line.cell(u) != 0 || c.line.flip(u) ||
+                           c.line.meta(u) != 0;
+      if (changed && fails(flat)) {
+        c = std::move(flat);
+        progress = true;
+      }
+    }
+  }
+  return c;
+}
+
+void check_or_minimize_enc(const EncCase& c) {
+  if (!enc_broken(c)) return;
+  const EncCase minimal = minimize_enc(c, enc_broken);
+  FAIL() << "encoder invariant violated; minimal reproducer: "
+         << enc_reproducer(minimal);
+}
+
+EncCase random_enc_case(Rng& rng) {
+  const pcm::PcmConfig dev = pcm::table2_config();
+  const u32 units = dev.geometry.units_per_line();
+  const u32 bits = dev.geometry.data_unit_bits;
+  constexpr schemes::SchemeKind kSchemes[] = {
+      schemes::SchemeKind::kDcw,      schemes::SchemeKind::kFlipNWrite,
+      schemes::SchemeKind::kTwoStage, schemes::SchemeKind::kThreeStage,
+      schemes::SchemeKind::kTetris};
+  constexpr encode::EncoderKind kEncoders[] = {encode::EncoderKind::kFlip,
+                                               encode::EncoderKind::kWire,
+                                               encode::EncoderKind::kCoset};
+  EncCase c;
+  c.skind = kSchemes[rng.next() % 5];
+  c.ekind = kEncoders[rng.next() % 3];
+  const auto enc = encode::make_encoder(c.ekind, dev);
+  const u64 mmask = low_mask(enc->meta_bits());
+  for (u32 u = 0; u < units; ++u) {
+    u64 cells = rng.next();
+    if (rng.chance(0.2)) cells = rng.chance(0.5) ? 0x0ull : ~0x0ull;
+    c.line.set_cell(u, cells & low_mask(bits));
+    c.line.set_flip(u, rng.chance(0.3));
+    c.line.set_meta(u, static_cast<u8>(rng.next() & mmask));
+  }
+  // Data classes: all-zero, all-one, random, compressible narrow value,
+  // adversarial half-flip of the current stored logical word.
+  const u32 cls = static_cast<u32>(rng.next() % 5);
+  for (u32 u = 0; u < units; ++u) {
+    u64 w = 0;
+    switch (cls) {
+      case 0:
+        break;
+      case 1:
+        w = low_mask(bits);
+        break;
+      case 2:
+        w = rng.next() & low_mask(bits);
+        break;
+      case 3: {
+        const u64 lo = rng.next() & low_mask(bits / 2);
+        w = rng.chance(0.5) ? lo : (lo | (low_mask(bits) ^ low_mask(bits / 2)));
+        break;
+      }
+      default: {
+        u64 flips = 0;
+        while (popcount(flips) < bits / 2) {
+          flips |= u64{1} << (rng.next() % bits);
+        }
+        w = (c.line.logical(u) ^ flips) & low_mask(bits);
+        break;
+      }
+    }
+    c.next.set_word(u, w);
+  }
+  return c;
+}
+
+TEST(EncodeFuzz, RandomEncoderSchemeDataClassCampaign) {
+  Rng rng(campaign_seed(0xE6C0ull));
+  for (int trial = 0; trial < trials(1'500); ++trial) {
+    check_or_minimize_enc(random_enc_case(rng));
+  }
+}
+
+TEST(EncodeFuzz, EncodedBatchCampaignMatchesSoloPlans) {
+  // Random K-line batches through the decorator must land every line in
+  // exactly the state line-at-a-time planning produces, and every line
+  // must decode back to its requested data. Failures shrink by dropping
+  // lines before reporting.
+  const pcm::PcmConfig dev = pcm::table2_config();
+  Rng rng(campaign_seed(0xEBA7ull));
+  const auto broken = [&dev](const std::vector<EncCase>& cases) -> bool {
+    if (cases.empty()) return false;
+    try {
+      const auto wrapped =
+          encode::wrap_scheme(make_scheme(cases[0].skind, dev),
+                              cases[0].ekind);
+      std::vector<pcm::LineBuf> batch_lines, solo_lines;
+      std::vector<pcm::LogicalLine> datas;
+      for (const EncCase& c : cases) {
+        batch_lines.push_back(c.line);
+        solo_lines.push_back(c.line);
+        datas.push_back(c.next);
+      }
+      std::vector<pcm::LineBuf*> ptrs;
+      for (auto& l : batch_lines) ptrs.push_back(&l);
+      const schemes::BatchServicePlan bp = wrapped->plan_write_batch(
+          {ptrs.data(), ptrs.size()}, {datas.data(), datas.size()});
+      if (bp.per_line.size() != cases.size()) return true;
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const schemes::ServicePlan sp =
+            wrapped->plan_write(solo_lines[i], datas[i]);
+        if (!(batch_lines[i] == solo_lines[i])) return true;
+        if (!(bp.per_line[i].programmed == sp.programmed)) return true;
+        if (bp.per_line[i].enc.tag_bits != sp.enc.tag_bits) return true;
+        if (!(wrapped->decode_stored(batch_lines[i]) == datas[i])) {
+          return true;
+        }
+      }
+    } catch (const std::exception&) {
+      return true;
+    }
+    return false;
+  };
+  for (int trial = 0; trial < trials(150); ++trial) {
+    std::vector<EncCase> cases;
+    const std::size_t k = 1 + rng.next() % 6;
+    EncCase first = random_enc_case(rng);
+    cases.push_back(first);
+    for (std::size_t i = 1; i < k; ++i) {
+      EncCase c = random_enc_case(rng);
+      c.skind = first.skind;  // one scheme + encoder per bank
+      c.ekind = first.ekind;
+      cases.push_back(c);
+    }
+    if (!broken(cases)) continue;
+    // Shrink: drop whole lines while the batch still diverges.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; cases.size() > 1 && i < cases.size();) {
+        std::vector<EncCase> smaller = cases;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+        if (broken(smaller)) {
+          cases = std::move(smaller);
+          progress = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::ostringstream out;
+    for (const EncCase& c : cases) out << enc_reproducer(c) << " | ";
+    FAIL() << "encoded batch diverged from solo plans; minimal batch: "
+           << out.str();
+  }
 }
 
 // ----------------------------------------------------------- minimizer --

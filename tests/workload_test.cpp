@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "tw/common/bits.hpp"
 #include "tw/core/read_stage.hpp"
 #include "tw/stats/accumulator.hpp"
 #include "tw/workload/generator.hpp"
@@ -208,6 +209,93 @@ TEST(Generator, BurstinessZeroIsUnchanged) {
   TraceGenerator b(p, pcm::GeometryParams{}, 1, 9);
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(a.next(0).gap, b.next(0).gap);
+  }
+}
+
+// --------------------------------------------------------- content classes --
+TEST(ContentClass, Names) {
+  EXPECT_STREQ(content_class_name(ContentClass::kMutate), "mutate");
+  EXPECT_STREQ(content_class_name(ContentClass::kCompressible),
+               "compressible");
+  EXPECT_STREQ(content_class_name(ContentClass::kZipfByte), "zipf");
+  EXPECT_STREQ(content_class_name(ContentClass::kAdversarial),
+               "adversarial");
+}
+
+TEST(ContentClass, MutateDefaultIsBitIdentical) {
+  // Adding the content axis must not disturb the calibrated default.
+  const auto& base = profile_by_name("ferret");
+  WorkloadProfile p = base;
+  p.content = ContentClass::kMutate;
+  const pcm::GeometryParams g;
+  mem::DataStore sa(g.units_per_line(), 7, 0.5);
+  mem::DataStore sb(g.units_per_line(), 7, 0.5);
+  TraceGenerator a(base, g, 1, 13), b(p, g, 1, 13);
+  for (int i = 0; i < 100; ++i) {
+    const TraceOp oa = a.next(0);
+    const TraceOp ob = b.next(0);
+    ASSERT_EQ(oa.addr, ob.addr);
+    EXPECT_EQ(a.make_write_data(oa.addr, sa, 0),
+              b.make_write_data(ob.addr, sb, 0));
+  }
+}
+
+TEST(ContentClass, CompressibleHighHalfConstant) {
+  WorkloadProfile p = profile_by_name("vips");
+  p.content = ContentClass::kCompressible;
+  const pcm::GeometryParams g;
+  mem::DataStore store(g.units_per_line(), 7, 0.5);
+  TraceGenerator gen(p, g, 1, 21);
+  const u32 bits = g.data_unit_bits;
+  const u64 high = low_mask(bits) ^ low_mask(bits / 2);
+  for (int i = 0; i < 200; ++i) {
+    const TraceOp op = gen.next(0);
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    for (u32 u = 0; u < g.units_per_line(); ++u) {
+      const u64 top = next.word(u) & high;
+      EXPECT_TRUE(top == 0 || top == high) << std::hex << next.word(u);
+    }
+  }
+}
+
+TEST(ContentClass, ZipfByteSkewsLow) {
+  WorkloadProfile p = profile_by_name("vips");
+  p.content = ContentClass::kZipfByte;
+  const pcm::GeometryParams g;
+  mem::DataStore store(g.units_per_line(), 7, 0.5);
+  TraceGenerator gen(p, g, 1, 22);
+  u64 low_bytes = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const TraceOp op = gen.next(0);
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    for (u32 u = 0; u < g.units_per_line(); ++u) {
+      for (u32 b = 0; b < g.data_unit_bits / 8; ++b) {
+        const u64 byte = (next.word(u) >> (8 * b)) & 0xFF;
+        low_bytes += byte < 32;  // uniform would hit this 12.5% of the time
+        ++total;
+      }
+    }
+  }
+  // u^3 skew puts half the mass below 256 * (1/2)^(1/3)... check the
+  // tail directly: P(byte < 32) = (32/256)^(1/3) = 0.5.
+  EXPECT_GT(static_cast<double>(low_bytes) / static_cast<double>(total),
+            0.35);
+}
+
+TEST(ContentClass, AdversarialFlipsExactlyHalf) {
+  WorkloadProfile p = profile_by_name("vips");
+  p.content = ContentClass::kAdversarial;
+  const pcm::GeometryParams g;
+  mem::DataStore store(g.units_per_line(), 7, 0.5);
+  TraceGenerator gen(p, g, 1, 23);
+  for (int i = 0; i < 100; ++i) {
+    const TraceOp op = gen.next(0);
+    const pcm::LogicalLine current = store.read_logical(op.addr);
+    const pcm::LogicalLine next = gen.make_write_data(op.addr, store, 0);
+    for (u32 u = 0; u < g.units_per_line(); ++u) {
+      EXPECT_EQ(hamming(current.word(u), next.word(u)),
+                g.data_unit_bits / 2);
+    }
   }
 }
 
